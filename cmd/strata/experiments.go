@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	run := fs.String("run", "all", "which experiment: all, table2, figure6, figure7, figure8, optimality, uniform, scaling, scorecard")
+	pop := fs.Int("pop", 20000, "population size")
+	samples := fs.String("samples", "100,1000", "comma-separated per-SSD sample sizes")
+	runs := fs.Int("runs", 10, "repetitions to average")
+	slaves := fs.Int("slaves", 10, "cluster slaves (fixed-slaves experiments)")
+	seed := fs.Int64("seed", 1, "random seed")
+	asJSON := fs.Bool("json", false, "emit results as JSON instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.PopulationSize = *pop
+	cfg.Runs = *runs
+	cfg.Slaves = *slaves
+	cfg.Seed = *seed
+	cfg.SampleSizes = nil
+	for _, s := range strings.Split(*samples, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad sample size %q: %v", s, err)
+		}
+		cfg.SampleSizes = append(cfg.SampleSizes, v)
+	}
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	ran := false
+	emit := func(name string, result interface{ Table() *experiments.Table }) error {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(map[string]any{"experiment": name, "result": result})
+		}
+		result.Table().Render(os.Stdout)
+		return nil
+	}
+
+	if want("table2") {
+		ran = true
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("table2", res); err != nil {
+			return err
+		}
+	}
+	if want("figure6") {
+		ran = true
+		res, err := experiments.Figure6(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure6", res); err != nil {
+			return err
+		}
+	}
+	if want("figure7") {
+		ran = true
+		res, err := experiments.Figure7(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure7", res); err != nil {
+			return err
+		}
+	}
+	if want("figure8") {
+		ran = true
+		res, err := experiments.Figure8(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure8", res); err != nil {
+			return err
+		}
+	}
+	if want("optimality") {
+		ran = true
+		res, err := experiments.Optimality(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("optimality", res); err != nil {
+			return err
+		}
+	}
+	if want("scaling") {
+		ran = true
+		res, err := experiments.DataScaling(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("scaling", res); err != nil {
+			return err
+		}
+	}
+	if *run == "scorecard" {
+		ran = true
+		res, err := experiments.Scorecard(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("scorecard", res); err != nil {
+			return err
+		}
+	}
+	if want("uniform") {
+		ran = true
+		res, err := experiments.UniformComparison(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("uniform", res); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *run)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Command strata is the command-line front end of the stratified-sampling
+// library: it generates synthetic author populations, answers SSD and MSSD
+// queries with the paper's MapReduce algorithms, and regenerates every table
+// and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	strata generate    -n 10000 [-uniform] [-graph] [-seed 1] [-stats] [-csv]
+//	strata sample      -n 10000 -query "nop >= 100 : 5; nop < 100 : 10" [-slaves 4]
+//	                   [-layout contiguous] [-naive] [-estimate ndcc]
+//	strata mssd        -n 10000 -group Small -sample 100 [-runs 5] [-ip] [-explain]
+//	                   [-waves 3]
+//	strata query       -design design.json [-data pop.csv] [-ip] [-out answers.csv]
+//	strata experiments [-run all|table2|figure6|figure7|figure8|optimality|uniform|
+//	                    scaling|scorecard] [-pop 20000] [-samples 100,1000]
+//	                   [-runs 10] [-slaves 10] [-json]
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "sample":
+		err = cmdSample(os.Args[2:])
+	case "mssd":
+		err = cmdMSSD(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "strata: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strata: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `strata — stratified sampling over social networks using MapReduce
+
+commands:
+  generate     generate a synthetic author population and print statistics
+  sample       answer a single SSD query (MR-SQE) over a generated population
+  mssd         answer a generated multi-survey query group (MR-MQE vs MR-CPS)
+  query        run an MSSD design from a JSON file over a CSV or generated population
+  experiments  regenerate the paper's tables and figures
+
+run "strata <command> -h" for flags.`)
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+func TestCmdGenerate(t *testing.T) {
+	if err := cmdGenerate([]string{"-n", "500", "-stats=true"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGenerate([]string{"-n", "300", "-uniform"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGenerate([]string{"-n", "300", "-graph"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdSample(t *testing.T) {
+	err := cmdSample([]string{"-n", "2000", "-query", "nop >= 30 : 3 ; nop < 30 : 5", "-print=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSample([]string{"-n", "100", "-query", "broken ::"}); err == nil {
+		t.Fatal("want parse error")
+	}
+	if err := cmdSample([]string{"-n", "100", "-query", "nop < 10 : 1 ; nop < 20 : 1"}); err == nil {
+		t.Fatal("want overlap validation error")
+	}
+}
+
+func TestCmdMSSD(t *testing.T) {
+	err := cmdMSSD([]string{"-n", "3000", "-group", "Small", "-sample", "32", "-runs", "1", "-slaves", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMSSD([]string{"-group", "Nope"}); err == nil {
+		t.Fatal("want unknown-group error")
+	}
+}
+
+func TestCmdQueryFromFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	// Write a design file.
+	m := query.NewMSSD(
+		query.PenaltyCosts{Interview: 4},
+		query.NewSSD("act",
+			query.Stratum{Cond: predicate.MustParse("ayp >= 3"), Freq: 4},
+			query.Stratum{Cond: predicate.MustParse("ayp < 3"), Freq: 6},
+		),
+	)
+	design, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	designPath := filepath.Join(dir, "design.json")
+	if err := os.WriteFile(designPath, design, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Write a population CSV.
+	pop := gen.Population(800, 9)
+	csvPath := filepath.Join(dir, "pop.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pop.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := cmdQuery([]string{"-design", designPath, "-data", csvPath, "-slaves", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-design", designPath, "-n", "500", "-slaves", "2", "-ip"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{}); err == nil {
+		t.Fatal("want missing-design error")
+	}
+	if err := cmdQuery([]string{"-design", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("want file error")
+	}
+}
+
+func TestCmdExperimentsQuick(t *testing.T) {
+	err := cmdExperiments([]string{"-run", "table2", "-pop", "3000", "-samples", "24", "-runs", "1", "-slaves", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExperiments([]string{"-run", "nope"}); err == nil {
+		t.Fatal("want unknown-experiment error")
+	}
+	if err := cmdExperiments([]string{"-samples", "abc"}); err == nil {
+		t.Fatal("want bad-samples error")
+	}
+}
+
+func TestParseSSDSpec(t *testing.T) {
+	q, err := parseSSD("Q", "a < 5 : 2 ; a >= 5 : 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Strata) != 2 || q.Strata[0].Freq != 2 || q.Strata[1].Freq != 3 {
+		t.Fatalf("parsed %+v", q)
+	}
+	for _, bad := range []string{"", "a < 5", "a < 5 : x", "(( : 3"} {
+		if _, err := parseSSD("Q", bad); err == nil {
+			t.Errorf("parseSSD(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCmdQueryCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	m := query.NewMSSD(
+		query.PenaltyCosts{Interview: 4},
+		query.NewSSD("act",
+			query.Stratum{Cond: predicate.MustParse("ayp >= 3"), Freq: 3},
+			query.Stratum{Cond: predicate.MustParse("ayp < 3"), Freq: 4},
+		),
+	)
+	design, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	designPath := filepath.Join(dir, "d.json")
+	if err := os.WriteFile(designPath, design, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "answers.csv")
+	if err := cmdQuery([]string{"-design", designPath, "-n", "500", "-slaves", "2", "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 8 { // header + 7 individuals
+		t.Fatalf("%d lines in export, want 8", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "survey,stratum,id,name,nop") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+}

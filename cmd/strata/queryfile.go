@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/cps"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+)
+
+// cmdQuery runs an MSSD design read from a JSON file over either a CSV
+// population (in the `strata generate -csv` format, author schema) or a
+// freshly generated one.
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	designPath := fs.String("design", "", "path to an MSSD design JSON file (required)")
+	dataPath := fs.String("data", "", "path to a population CSV (author schema); empty = generate")
+	n := fs.Int("n", 20000, "population size when generating")
+	seed := fs.Int64("seed", 1, "random seed")
+	slaves := fs.Int("slaves", 4, "cluster slaves")
+	ip := fs.Bool("ip", false, "solve the exact integer program")
+	out := fs.String("out", "", "write the selected individuals to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *designPath == "" {
+		return fmt.Errorf("query: -design is required")
+	}
+	raw, err := os.ReadFile(*designPath)
+	if err != nil {
+		return err
+	}
+	var m query.MSSD
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("query: parsing %s: %w", *designPath, err)
+	}
+
+	var pop *dataset.Relation
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pop, err = dataset.ReadCSV(f, gen.AuthorSchema())
+		if err != nil {
+			return err
+		}
+	} else {
+		pop = gen.Population(*n, *seed)
+	}
+
+	splits, err := dataset.Partition(pop, *slaves*2, dataset.Contiguous, nil)
+	if err != nil {
+		return err
+	}
+	cluster := mapreduce.NewCluster(*slaves)
+	start := time.Now()
+	res, err := cps.Run(cluster, &m, pop.Schema(), splits, cps.Options{
+		Seed:  *seed,
+		Solve: cps.SolveOptions{Integer: *ip},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("population %d, %d surveys, %d interview slots\n", pop.Len(), len(m.Queries), m.TotalFreq())
+	for qi, q := range m.Queries {
+		fmt.Printf("  %s: %d individuals across %d strata\n", q.Name, res.Answers[qi].Size(), len(q.Strata))
+	}
+	fmt.Printf("unique individuals: %d\n", res.Answers.UniqueIndividuals())
+	if m.Costs != nil {
+		fmt.Printf("total cost: $%.2f (independent selection would cost $%.2f)\n",
+			res.Answers.Cost(m.Costs), res.Initial.Cost(m.Costs))
+	}
+	fmt.Printf("wall time %v, simulated cluster time %v\n",
+		time.Since(start).Round(time.Millisecond), res.Metrics.SimulatedTotal().Round(time.Millisecond))
+
+	if *out != "" {
+		if err := writeAnswersCSV(*out, &m, res.Answers, pop.Schema()); err != nil {
+			return err
+		}
+		fmt.Printf("answers written to %s\n", *out)
+	}
+	return nil
+}
+
+// writeAnswersCSV dumps every selected individual with its survey and
+// stratum assignment: one row per (survey, individual).
+func writeAnswersCSV(path string, m *query.MSSD, answers query.MultiAnswer, schema *dataset.Schema) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"survey", "stratum", "id", "name"}
+	for j := 0; j < schema.NumFields(); j++ {
+		header = append(header, schema.Field(j).Name)
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for qi, ans := range answers {
+		for k, stratum := range ans.Strata {
+			for _, t := range stratum {
+				row := []string{
+					m.Queries[qi].Name,
+					strconv.Itoa(k + 1),
+					strconv.FormatInt(t.ID, 10),
+					t.Name,
+				}
+				for _, v := range t.Attrs {
+					row = append(row, strconv.FormatInt(v, 10))
+				}
+				if err := w.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

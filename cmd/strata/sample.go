@@ -1,0 +1,108 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/estimate"
+	"repro/internal/gen"
+	"repro/internal/mapreduce"
+	"repro/internal/predicate"
+	"repro/internal/query"
+	"repro/internal/stratified"
+)
+
+// parseSSD parses "cond : freq ; cond : freq ; ..." into an SSD query.
+func parseSSD(name, spec string) (*query.SSD, error) {
+	var strata []query.Stratum
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.LastIndex(part, ":")
+		if i < 0 {
+			return nil, fmt.Errorf("stratum %q: want \"<condition> : <frequency>\"", part)
+		}
+		cond, err := predicate.Parse(strings.TrimSpace(part[:i]))
+		if err != nil {
+			return nil, err
+		}
+		freq, err := strconv.Atoi(strings.TrimSpace(part[i+1:]))
+		if err != nil {
+			return nil, fmt.Errorf("stratum %q: bad frequency: %v", part, err)
+		}
+		strata = append(strata, query.Stratum{Cond: cond, Freq: freq})
+	}
+	if len(strata) == 0 {
+		return nil, fmt.Errorf("empty SSD query")
+	}
+	return query.NewSSD(name, strata...), nil
+}
+
+func cmdSample(args []string) error {
+	fs := flag.NewFlagSet("sample", flag.ExitOnError)
+	n := fs.Int("n", 10000, "population size")
+	seed := fs.Int64("seed", 1, "random seed")
+	slaves := fs.Int("slaves", 4, "cluster slaves")
+	naive := fs.Bool("naive", false, "disable the combiner (Figure 1 variant)")
+	layout := fs.String("layout", "contiguous", "data layout across machines: round-robin, contiguous, skewed, shuffled-contiguous")
+	spec := fs.String("query", "nop >= 100 : 5 ; nop < 100 : 10",
+		"SSD query: \"cond : freq ; cond : freq ; ...\"")
+	showTuples := fs.Bool("print", true, "print the sampled individuals")
+	estimateAttr := fs.String("estimate", "", "also estimate the population mean of this attribute from the sample")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	q, err := parseSSD("Q", *spec)
+	if err != nil {
+		return err
+	}
+	pop := gen.Population(*n, *seed)
+	if err := q.Validate(pop.Schema()); err != nil {
+		return err
+	}
+	strategy, err := dataset.ParsePartitioning(*layout)
+	if err != nil {
+		return err
+	}
+	splits, err := dataset.Partition(pop, *slaves*2, strategy, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	cluster := mapreduce.NewCluster(*slaves)
+	ans, met, err := stratified.RunSQE(cluster, q, pop.Schema(), splits, stratified.Options{
+		Seed:  *seed,
+		Naive: *naive,
+	})
+	if err != nil {
+		return err
+	}
+	for k, s := range q.Strata {
+		fmt.Printf("stratum %d (%s, f=%d): %d individuals\n", k+1, s.Cond, s.Freq, len(ans.Strata[k]))
+		if *showTuples {
+			for _, t := range ans.Strata[k] {
+				fmt.Printf("  %s\n", t)
+			}
+		}
+	}
+	fmt.Printf("\n%s\n", met)
+
+	if *estimateAttr != "" {
+		sums, err := estimate.FromAnswer(ans, q, pop, *estimateAttr)
+		if err != nil {
+			return err
+		}
+		stratMean, err := estimate.StratifiedMean(sums)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stratified estimate of mean %s: %s\n", *estimateAttr, stratMean)
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package repro reproduces "Stratified-Sampling over Social Networks Using
+// MapReduce" (Levin & Kanza, SIGMOD 2014): distributed, unbiased stratified
+// sampling (MR-SQE/MR-MQE) and cost-optimal multi-survey sampling (MR-CPS)
+// over an in-process MapReduce substrate.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured record, and bench_test.go for the per-table/figure
+// regeneration harness.
+package repro

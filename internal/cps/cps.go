@@ -1,0 +1,247 @@
+package cps
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+	"repro/internal/stratified"
+)
+
+// Options configures an MR-CPS run.
+type Options struct {
+	// Seed makes the run reproducible; the pipeline's MapReduce jobs
+	// derive their own seeds from it.
+	Seed int64
+	// Solve configures the constraint-program step (per-σ LP by default).
+	Solve SolveOptions
+	// Naive disables combiners in the underlying sampling jobs.
+	Naive bool
+	// Exclude removes individuals (by ID) from the whole pipeline — e.g.
+	// participants of a previous survey campaign who must not be asked
+	// again (survey fatigue across campaigns, not just within one MSSD).
+	Exclude map[int64]struct{}
+}
+
+// LPStats reports the constraint-program step, feeding Figure 8.
+type LPStats struct {
+	FormulateTime time.Duration
+	SolveTime     time.Duration
+	Vars          int
+	Constraints   int
+	Selections    int
+	Objective     float64 // C_LP (or C_IP in integer mode)
+}
+
+// Result is the outcome of an MR-CPS run.
+type Result struct {
+	// Answers is the final answer set A*.
+	Answers query.MultiAnswer
+	// Initial is the representative non-optimal answer A of step 1,
+	// exposed for the representativeness tests.
+	Initial query.MultiAnswer
+	// Metrics accumulates all MapReduce jobs of the pipeline.
+	Metrics mapreduce.Metrics
+	// LP reports the constraint-program step.
+	LP LPStats
+	// PlannedTuples is the number of individuals the plan assigned
+	// (Σ X_τ(σ)); ResidualTuples the number added by the residual phase to
+	// cover rounding deficits. Their ratio is the §6.2.2 metric.
+	PlannedTuples  int
+	ResidualTuples int
+	// Plan is the solved constraint program, for inspection (which
+	// selections share how many individuals across which surveys).
+	Plan *Plan
+	// Stats holds the relevant selections [[Q]]* with F and L values.
+	Stats *Stats
+}
+
+// Run answers the MSSD query with MR-CPS over the distributed population.
+func Run(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []dataset.Split, opts Options) (*Result, error) {
+	if err := m.Validate(schema); err != nil {
+		return nil, err
+	}
+	return run(c, m, schema, splits, opts)
+}
+
+// RunUnvalidated is Run without the SSD validation step; generated query
+// groups are valid by construction, and validation of very wide queries can
+// dominate the runtime being measured.
+func RunUnvalidated(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []dataset.Split, opts Options) (*Result, error) {
+	return run(c, m, schema, splits, opts)
+}
+
+func run(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []dataset.Split, opts Options) (*Result, error) {
+	queries := m.Queries
+	n := len(queries)
+	compiled, err := CompileQueries(queries, schema)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	// Step 1: representative non-optimal answer A (MR-MQE).
+	initial, met, err := stratified.RunMQE(c, queries, schema, splits, stratified.Options{
+		Seed:    opts.Seed + 1,
+		Naive:   opts.Naive,
+		Exclude: opts.Exclude,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cps: initial answer: %w", err)
+	}
+	res.Initial = initial
+	res.Metrics.Add(met)
+
+	// Step 2: [[Q]]* and F(A_i, σ) from SSTs over the initial answers.
+	tFormStart := time.Now()
+	stats := CollectFrequencies(queries, initial, compiled)
+	res.LP.Selections = len(stats.Entries)
+
+	// Step 3: stratum-selection limits L(σ) (Figure 4 job).
+	met, err = CountLimits(c, compiled, stats.Entries, splits, opts.Seed+2, opts.Exclude)
+	if err != nil {
+		return nil, fmt.Errorf("cps: limits: %w", err)
+	}
+	res.Metrics.Add(met)
+	res.LP.FormulateTime = time.Since(tFormStart)
+
+	// Step 4: formulate and solve the constraint program of Figure 3.
+	tSolveStart := time.Now()
+	plan, err := SolvePlan(stats, m.Costs, opts.Solve)
+	if err != nil {
+		return nil, err
+	}
+	res.LP.SolveTime = time.Since(tSolveStart)
+	res.LP.Vars = plan.Vars
+	res.LP.Constraints = plan.Constraints
+	res.LP.Objective = plan.Objective
+	res.Plan = plan
+	res.Stats = stats
+
+	// Step 5: answer the derived query Q′ in one pass keyed by stratum
+	// selection, and deal tuples to surveys per X_τ(σ).
+	want := plan.WantPerSelection()
+	classify := func(t *dataset.Tuple, emit func(string)) {
+		sel := SelectionOf(t, compiled)
+		if !sel.Empty() {
+			emit(sel.Key())
+		}
+	}
+	samples, met, err := stratified.RunKeyed(c, classify, want, splits, stratified.Options{
+		Seed:    opts.Seed + 3,
+		Naive:   opts.Naive,
+		Exclude: opts.Exclude,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cps: combined answer: %w", err)
+	}
+	res.Metrics.Add(met)
+
+	answers := make(query.MultiAnswer, n)
+	chosen := make([]map[int64]struct{}, n) // per-survey selected IDs
+	for i, q := range queries {
+		answers[i] = query.NewAnswer(len(q.Strata))
+		chosen[i] = make(map[int64]struct{})
+	}
+	dealt := make(map[string][]int64, len(stats.Entries)) // per key, per survey
+	for _, key := range stats.SortedKeys() {
+		byTau := plan.Assign[key]
+		if len(byTau) == 0 {
+			continue
+		}
+		sel := stats.Entries[key].Sel
+		pool := samples[key]
+		counts := make([]int64, n)
+		dealt[key] = counts
+		taus := make([]query.Tau, 0, len(byTau))
+		for tau := range byTau {
+			taus = append(taus, tau)
+		}
+		sort.Slice(taus, func(a, b int) bool { return taus[a] < taus[b] })
+		for _, tau := range taus {
+			take := byTau[tau]
+			for take > 0 && len(pool) > 0 {
+				t := pool[0]
+				pool = pool[1:]
+				take--
+				res.PlannedTuples++
+				for _, i := range tau.Indexes() {
+					answers[i].Strata[sel[i]] = append(answers[i].Strata[sel[i]], t)
+					chosen[i][t.ID] = struct{}{}
+					counts[i]++
+				}
+			}
+		}
+	}
+
+	// Step 6: residual phase — top up each survey's per-selection deficit
+	// (F(A_i, σ) minus what the rounded plan delivered) with fresh uniform
+	// draws from σ(R) excluding the survey's already-chosen individuals.
+	deficit := make(map[string]int) // key: residKey(i, σ)
+	for _, key := range stats.SortedKeys() {
+		e := stats.Entries[key]
+		for i := 0; i < n; i++ {
+			var got int64
+			if counts, ok := dealt[key]; ok {
+				got = counts[i]
+			}
+			if d := e.Freq[i] - got; d > 0 {
+				deficit[residKey(i, key)] = int(d)
+			}
+		}
+	}
+	if len(deficit) > 0 {
+		classifyResid := func(t *dataset.Tuple, emit func(string)) {
+			sel := SelectionOf(t, compiled)
+			if sel.Empty() {
+				return
+			}
+			key := sel.Key()
+			for i := 0; i < n; i++ {
+				rk := residKey(i, key)
+				if _, need := deficit[rk]; !need {
+					continue
+				}
+				if _, taken := chosen[i][t.ID]; taken {
+					continue
+				}
+				emit(rk)
+			}
+		}
+		residSamples, met, err := stratified.RunKeyed(c, classifyResid, deficit, splits, stratified.Options{
+			Seed:    opts.Seed + 4,
+			Naive:   opts.Naive,
+			Exclude: opts.Exclude,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cps: residual phase: %w", err)
+		}
+		res.Metrics.Add(met)
+		for rk, sample := range residSamples {
+			i, key := parseResidKey(rk)
+			sel := stats.Entries[key].Sel
+			for _, t := range sample {
+				answers[i].Strata[sel[i]] = append(answers[i].Strata[sel[i]], t)
+				chosen[i][t.ID] = struct{}{}
+				res.ResidualTuples++
+			}
+		}
+	}
+
+	res.Answers = answers
+	return res, nil
+}
+
+// residKey namespaces a residual class by survey index.
+func residKey(i int, selKey string) string {
+	return fmt.Sprintf("%04d/", i) + selKey
+}
+
+func parseResidKey(rk string) (int, string) {
+	var i int
+	fmt.Sscanf(rk[:4], "%d", &i)
+	return i, rk[5:]
+}

@@ -1,0 +1,258 @@
+package cps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/lp"
+	"repro/internal/query"
+)
+
+// SolveOptions configures the constraint-program step of CPS.
+type SolveOptions struct {
+	// Joint formulates one LP over all selections instead of the exact
+	// per-σ decomposition. Same optimum, larger tableau; kept for the
+	// ablation benchmark.
+	Joint bool
+	// Integer solves the exact integer program of Figure 3 (branch and
+	// bound) instead of the LP relaxation — the paper's CPS rather than
+	// MR-CPS.
+	Integer bool
+	// Epsilon is added before flooring LP values to absorb solver
+	// quantisation error; the paper uses 1e-4.
+	Epsilon float64
+}
+
+func (o SolveOptions) epsilon() float64 {
+	if o.Epsilon == 0 {
+		return 1e-4
+	}
+	return o.Epsilon
+}
+
+// Plan is the solved constraint program: for every relevant selection σ, the
+// integral number of individuals X_τ(σ) to draw from σ(R) and assign to
+// exactly the surveys of τ.
+type Plan struct {
+	// Assign maps a selection key to its per-τ assignment counts.
+	Assign map[string]map[query.Tau]int64
+	// Objective is the relaxation optimum before rounding (the C_LP of
+	// Section 6.2.2; equal to C_IP when Integer is set).
+	Objective float64
+	// Vars and Constraints count the formulated program's size.
+	Vars, Constraints int
+}
+
+// WantPerSelection returns f(σ) = Σ_τ X_τ(σ) for every selection: the sample
+// frequency of the derived query Q′.
+func (p *Plan) WantPerSelection() map[string]int {
+	out := make(map[string]int, len(p.Assign))
+	for key, byTau := range p.Assign {
+		var sum int64
+		for _, x := range byTau {
+			sum += x
+		}
+		if sum > 0 {
+			out[key] = int(sum)
+		}
+	}
+	return out
+}
+
+// Assigned returns Σ_{τ∋i} X_τ(σ): how many individuals the plan assigns to
+// survey i from selection σ.
+func (p *Plan) Assigned(key string, i int) int64 {
+	var sum int64
+	for tau, x := range p.Assign[key] {
+		if tau.Contains(i) {
+			sum += x
+		}
+	}
+	return sum
+}
+
+// Describe renders the plan's non-zero assignments as human-readable lines
+// ("{s1,2, s2,1}: 3 → surveys {1,2}"), in deterministic order — the CLI's
+// -explain output.
+func (p *Plan) Describe(stats *Stats) []string {
+	keys := make([]string, 0, len(p.Assign))
+	for key := range p.Assign {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, key := range keys {
+		e, ok := stats.Entries[key]
+		if !ok {
+			continue
+		}
+		byTau := p.Assign[key]
+		taus := make([]query.Tau, 0, len(byTau))
+		for tau := range byTau {
+			taus = append(taus, tau)
+		}
+		sort.Slice(taus, func(a, b int) bool { return taus[a] < taus[b] })
+		for _, tau := range taus {
+			out = append(out, fmt.Sprintf("%s: %d individuals → surveys %s (of L=%d)",
+				e.Sel, byTau[tau], tau, e.Limit))
+		}
+	}
+	return out
+}
+
+// SolvePlan formulates the constraint program of Figure 3 for the collected
+// statistics and solves it.
+func SolvePlan(stats *Stats, costs query.Coster, opts SolveOptions) (*Plan, error) {
+	if opts.Joint {
+		return solveJoint(stats, costs, opts)
+	}
+	return solveDecomposed(stats, costs, opts)
+}
+
+// varsFor enumerates the decision variables of one selection: every
+// non-empty τ ⊆ I(σ), in ascending mask order (deterministic).
+func varsFor(sel Selection) []query.Tau {
+	var taus []query.Tau
+	sel.Tau().Subsets(func(t query.Tau) bool {
+		taus = append(taus, t)
+		return true
+	})
+	return taus
+}
+
+// buildBlock appends one selection's variables and constraints to the
+// problem. base is the problem column of the block's first variable.
+func buildBlock(p *lp.Problem, base int, e *SelEntry, taus []query.Tau, costs query.Coster) error {
+	nv := len(taus)
+	for v, tau := range taus {
+		p.Obj[base+v] = costs.Cost(tau)
+		p.Names[base+v] = fmt.Sprintf("X%s(%s)", tau, e.Sel)
+	}
+	// Equivalence constraints: ∀ i ∈ I(σ): Σ_{τ∋i} X_τ = F(A_i, σ).
+	for _, i := range e.Sel.Tau().Indexes() {
+		row := make([]float64, base+nv)
+		for v, tau := range taus {
+			if tau.Contains(i) {
+				row[base+v] = 1
+			}
+		}
+		if err := p.AddConstraint(row, lp.EQ, float64(e.Freq[i])); err != nil {
+			return err
+		}
+	}
+	// Upper bound: Σ_τ X_τ ≤ L(σ).
+	row := make([]float64, base+nv)
+	for v := range taus {
+		row[base+v] = 1
+	}
+	return p.AddConstraint(row, lp.LE, float64(e.Limit))
+}
+
+func solveDecomposed(stats *Stats, costs query.Coster, opts SolveOptions) (*Plan, error) {
+	plan := &Plan{Assign: make(map[string]map[query.Tau]int64, len(stats.Entries))}
+	for _, key := range stats.SortedKeys() {
+		e := stats.Entries[key]
+		taus := varsFor(e.Sel)
+		if len(taus) == 0 {
+			continue
+		}
+		prob := lp.NewProblem(len(taus))
+		prob.Names = make([]string, len(taus))
+		if err := buildBlock(prob, 0, e, taus, costs); err != nil {
+			return nil, err
+		}
+		plan.Vars += len(taus)
+		plan.Constraints += len(prob.Cons)
+		sol, err := solveOne(prob, opts)
+		if err != nil {
+			return nil, fmt.Errorf("cps: selection %s: %w", e.Sel, err)
+		}
+		plan.Objective += sol.Objective
+		plan.Assign[key] = roundAssign(taus, sol.X, 0, opts)
+	}
+	return plan, nil
+}
+
+func solveJoint(stats *Stats, costs query.Coster, opts SolveOptions) (*Plan, error) {
+	keys := stats.SortedKeys()
+	// First pass: count variables.
+	total := 0
+	tausByKey := make(map[string][]query.Tau, len(keys))
+	for _, key := range keys {
+		taus := varsFor(stats.Entries[key].Sel)
+		tausByKey[key] = taus
+		total += len(taus)
+	}
+	prob := lp.NewProblem(total)
+	prob.Names = make([]string, total)
+	base := 0
+	for _, key := range keys {
+		e := stats.Entries[key]
+		taus := tausByKey[key]
+		if len(taus) == 0 {
+			continue
+		}
+		if err := buildBlock(prob, base, e, taus, costs); err != nil {
+			return nil, err
+		}
+		base += len(taus)
+	}
+	sol, err := solveOne(prob, opts)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{
+		Assign:      make(map[string]map[query.Tau]int64, len(keys)),
+		Objective:   sol.Objective,
+		Vars:        total,
+		Constraints: len(prob.Cons),
+	}
+	base = 0
+	for _, key := range keys {
+		taus := tausByKey[key]
+		if len(taus) == 0 {
+			continue
+		}
+		plan.Assign[key] = roundAssign(taus, sol.X, base, opts)
+		base += len(taus)
+	}
+	return plan, nil
+}
+
+func solveOne(prob *lp.Problem, opts SolveOptions) (*lp.Solution, error) {
+	var sol *lp.Solution
+	var err error
+	if opts.Integer {
+		sol, err = lp.SolveInteger(prob, 0)
+	} else {
+		sol, err = lp.Solve(prob)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("cps: constraint program %v", sol.Status)
+	}
+	return sol, nil
+}
+
+// roundAssign converts the solver's values for one block into integral
+// assignments: ⌊x + ε⌋ for the LP relaxation (Section 5.2.5.2), exact
+// rounding for the IP.
+func roundAssign(taus []query.Tau, x []float64, base int, opts SolveOptions) map[query.Tau]int64 {
+	out := make(map[query.Tau]int64, len(taus))
+	for v, tau := range taus {
+		val := x[base+v]
+		var n int64
+		if opts.Integer {
+			n = int64(math.Round(val))
+		} else {
+			n = int64(math.Floor(val + opts.epsilon()))
+		}
+		if n > 0 {
+			out[tau] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package cps
+
+import (
+	"testing"
+
+	"repro/internal/stratified"
+)
+
+// TestJointIntegerMatchesDecomposedInteger: branch-and-bound over the joint
+// Figure 3 program and over the per-σ blocks reach the same exact optimum.
+func TestJointIntegerMatchesDecomposedInteger(t *testing.T) {
+	r := testPop(400)
+	m := example6MSSD(6, 7, 6, 7)
+	compiled, err := CompileQueries(m.Queries, r.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, _, err := stratified.RunMQE(zcluster(2), m.Queries, r.Schema(), splitsOf(t, r, 2), stratified.Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsQ := CollectFrequencies(m.Queries, initial, compiled)
+	if _, err := CountLimitsInMemory(r, compiled, statsQ.Entries); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := SolvePlan(statsQ, m.Costs, SolveOptions{Integer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := SolvePlan(statsQ, m.Costs, SolveOptions{Integer: true, Joint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := dec.Objective - joint.Objective; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("decomposed IP %g vs joint IP %g", dec.Objective, joint.Objective)
+	}
+	// Both integral plans must satisfy the equivalence constraints exactly.
+	for key, e := range statsQ.Entries {
+		for i := range m.Queries {
+			if dec.Assigned(key, i) != e.Freq[i] || joint.Assigned(key, i) != e.Freq[i] {
+				t.Fatalf("selection %s survey %d: dec %d joint %d want %d",
+					e.Sel, i, dec.Assigned(key, i), joint.Assigned(key, i), e.Freq[i])
+			}
+		}
+	}
+}

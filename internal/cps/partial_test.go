@@ -1,0 +1,70 @@
+package cps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// partialMSSD has a second query whose strata do NOT cover the whole domain
+// (incomes in [500, 800] match nothing), so stratum selections with None
+// entries flow through the entire pipeline.
+func partialMSSD() *query.MSSD {
+	q1 := query.NewSSD("Q1",
+		query.Stratum{Cond: predicate.MustParse("gender = 1"), Freq: 8},
+		query.Stratum{Cond: predicate.MustParse("gender = 0"), Freq: 8},
+	)
+	q2 := query.NewSSD("Q2",
+		query.Stratum{Cond: predicate.MustParse("income < 500"), Freq: 6},
+		query.Stratum{Cond: predicate.MustParse("income > 800"), Freq: 6},
+	)
+	return query.NewMSSD(query.PenaltyCosts{Interview: 2}, q1, q2)
+}
+
+func TestCPSPartialCoverage(t *testing.T) {
+	r := testPop(500)
+	m := partialMSSD()
+	res, err := Run(zcluster(3), m, r.Schema(), splitsOf(t, r, 3), Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range m.Queries {
+		if err := res.Answers[qi].Satisfies(q, r); err != nil {
+			t.Fatalf("survey %d: %v", qi, err)
+		}
+	}
+	// Some of A1's individuals must fall in Q2's uncovered gap — their
+	// selections carry a None for Q2 and can only be assigned to survey 1.
+	sawGap := false
+	for _, stratum := range res.Answers[0].Strata {
+		for _, tp := range stratum {
+			if tp.Attrs[1] >= 500 && tp.Attrs[1] <= 800 {
+				sawGap = true
+			}
+		}
+	}
+	if !sawGap {
+		t.Fatal("no gap individuals in A1; partial coverage not exercised (suspicious for this population)")
+	}
+	if res.Answers.Cost(m.Costs) > res.Initial.Cost(m.Costs) {
+		t.Fatal("CPS cost exceeded MQE on the partial-coverage MSSD")
+	}
+}
+
+func TestSequentialPartialCoverageMatches(t *testing.T) {
+	r := testPop(500)
+	m := partialMSSD()
+	res, err := Sequential(m, r, newRand(7), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range m.Queries {
+		if err := res.Answers[qi].Satisfies(q, r); err != nil {
+			t.Fatalf("survey %d: %v", qi, err)
+		}
+	}
+}

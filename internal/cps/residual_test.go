@@ -1,0 +1,136 @@
+package cps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+// fractionalMSSD builds a 3-survey MSSD whose Figure 3 blocks have
+// fractional LP optima: pairwise sharing costs $1, full sharing and solo
+// interviews are expensive. With F = (f, f, f) the LP optimum sets each
+// pairwise variable to f/2 (cost 1.5f), while the integral optimum needs
+// ⌈1.5f⌉; flooring the halves forces the residual phase to top up.
+func fractionalMSSD(f int) *query.MSSD {
+	mk := func(name, attr string) *query.SSD {
+		return query.NewSSD(name,
+			query.Stratum{Cond: predicate.MustParse(attr + " = 1"), Freq: f},
+		)
+	}
+	costs := query.TableCosts{
+		Interview: []float64{3, 3, 3}, // solo: expensive
+		Shared: map[query.Tau]float64{
+			query.NewTau(0, 1):    1,
+			query.NewTau(0, 2):    1,
+			query.NewTau(1, 2):    1,
+			query.NewTau(0, 1, 2): 100, // full sharing: prohibitive
+		},
+	}
+	return query.NewMSSD(costs, mk("A", "gender"), mk("B", "flagB"), mk("C", "flagC"))
+}
+
+// fractionalPop: every individual satisfies all three surveys' single strata,
+// so there is exactly one stratum selection with I(σ) = {1,2,3}.
+func fractionalPop(n int) *dataset.Relation {
+	schema := dataset.MustSchema(
+		dataset.Field{Name: "gender", Min: 0, Max: 1},
+		dataset.Field{Name: "flagB", Min: 0, Max: 1},
+		dataset.Field{Name: "flagC", Min: 0, Max: 1},
+	)
+	r := dataset.NewRelation(schema)
+	for i := int64(0); i < int64(n); i++ {
+		r.MustAdd(dataset.Tuple{ID: i, Attrs: []int64{1, 1, 1}})
+	}
+	return r
+}
+
+func TestFractionalLPTriggersResidual(t *testing.T) {
+	const f = 5 // odd, so f/2 halves floor away one unit per pair
+	r := fractionalPop(200)
+	m := fractionalMSSD(f)
+	res, err := Run(zcluster(2), m, r.Schema(), splitsOf(t, r, 2), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The LP optimum is fractional: X{1,2} = X{1,3} = X{2,3} = 2.5.
+	if math.Abs(res.LP.Objective-7.5) > 1e-6 {
+		t.Fatalf("LP objective %g, want 7.5 (fractional vertex)", res.LP.Objective)
+	}
+	if res.ResidualTuples == 0 {
+		t.Fatal("flooring 2.5s must leave deficits for the residual phase")
+	}
+	// Despite rounding, every survey still gets exactly f individuals.
+	for qi, q := range m.Queries {
+		if err := res.Answers[qi].Satisfies(q, r); err != nil {
+			t.Fatalf("survey %d after residual: %v", qi, err)
+		}
+	}
+	// No tuple may appear twice within one survey.
+	for qi := range m.Queries {
+		seen := map[int64]bool{}
+		for _, stratum := range res.Answers[qi].Strata {
+			for _, tp := range stratum {
+				if seen[tp.ID] {
+					t.Fatalf("survey %d holds tuple %d twice", qi, tp.ID)
+				}
+				seen[tp.ID] = true
+			}
+		}
+	}
+}
+
+func TestFractionalIPAvoidsResidual(t *testing.T) {
+	const f = 5
+	r := fractionalPop(200)
+	m := fractionalMSSD(f)
+	res, err := Run(zcluster(2), m, r.Schema(), splitsOf(t, r, 2), Options{
+		Seed:  3,
+		Solve: SolveOptions{Integer: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResidualTuples != 0 {
+		t.Fatalf("integer mode left %d residual tuples", res.ResidualTuples)
+	}
+	// With pair-sum P = X{1,2}+X{1,3}+X{2,3} and singles S, the equalities
+	// give 2P+S = 15 and the cost is P+3S = 45−5P; the best integral P is
+	// 7 (e.g. 3,2,2 plus one solo interview), so C_IP = 10 — against the
+	// fractional C_LP = 45−5·7.5 = 7.5.
+	if math.Abs(res.LP.Objective-10) > 1e-6 {
+		t.Fatalf("IP objective %g, want 10", res.LP.Objective)
+	}
+	for qi, q := range m.Queries {
+		if err := res.Answers[qi].Satisfies(q, r); err != nil {
+			t.Fatalf("survey %d: %v", qi, err)
+		}
+	}
+}
+
+// TestResidualCostOrdering: on the fractional instance, C_LP ≤ C_IP ≤ C_A,
+// and the realised LP-mode cost exceeds the IP cost by the rounding loss.
+func TestResidualCostOrdering(t *testing.T) {
+	const f = 5
+	r := fractionalPop(200)
+	m := fractionalMSSD(f)
+	lpRes, err := Run(zcluster(2), m, r.Schema(), splitsOf(t, r, 2), Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipRes, err := Run(zcluster(2), m, r.Schema(), splitsOf(t, r, 2), Options{
+		Seed:  9,
+		Solve: SolveOptions{Integer: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cLP := lpRes.LP.Objective
+	cIP := ipRes.LP.Objective
+	cA := lpRes.Answers.Cost(m.Costs)
+	if !(cLP <= cIP+1e-9 && cIP <= cA+1e-9) {
+		t.Fatalf("ordering violated: C_LP=%g C_IP=%g C_A=%g", cLP, cIP, cA)
+	}
+}

@@ -1,0 +1,108 @@
+package cps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+func TestSequentialCPSAnswersSatisfy(t *testing.T) {
+	r := testPop(500)
+	m := example6MSSD(10, 12, 11, 9)
+	res, err := Sequential(m, r, rand.New(rand.NewSource(1)), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range m.Queries {
+		if err := res.Answers[qi].Satisfies(q, r); err != nil {
+			t.Fatalf("survey %d: %v", qi, err)
+		}
+	}
+	if res.Answers.Cost(m.Costs) > res.Initial.Cost(m.Costs) {
+		t.Fatal("sequential CPS did not reduce cost")
+	}
+}
+
+func TestSequentialMatchesMRInvariants(t *testing.T) {
+	r := testPop(500)
+	m := example6MSSD(10, 12, 11, 9)
+	seq, err := Sequential(m, r, rand.New(rand.NewSource(2)), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := Run(zcluster(3), m, r.Schema(), splitsOf(t, r, 3), Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Answer sizes are deterministic (frequencies), so they must agree.
+	for qi := range m.Queries {
+		if seq.Answers[qi].Size() != mr.Answers[qi].Size() {
+			t.Fatalf("survey %d: sequential %d vs MR %d tuples",
+				qi, seq.Answers[qi].Size(), mr.Answers[qi].Size())
+		}
+	}
+	// The LP dimensions are data-dependent but of the same magnitude.
+	if seq.LP.Selections == 0 || mr.LP.Selections == 0 {
+		t.Fatal("no selections collected")
+	}
+}
+
+func TestSequentialIntegerMode(t *testing.T) {
+	r := testPop(400)
+	m := example6MSSD(8, 8, 8, 8)
+	res, err := Sequential(m, r, rand.New(rand.NewSource(3)), SolveOptions{Integer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResidualTuples != 0 {
+		t.Fatalf("integer mode produced %d residual tuples", res.ResidualTuples)
+	}
+	for qi, q := range m.Queries {
+		if err := res.Answers[qi].Satisfies(q, r); err != nil {
+			t.Fatalf("survey %d: %v", qi, err)
+		}
+	}
+}
+
+func TestSequentialRejectsInvalid(t *testing.T) {
+	r := testPop(50)
+	bad := &query.MSSD{} // no queries, no costs
+	if _, err := Sequential(bad, r, rand.New(rand.NewSource(1)), SolveOptions{}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+// TestSequentialRepresentative: the sequential CPS answer is uniform per
+// stratum, like the MR version.
+func TestSequentialRepresentative(t *testing.T) {
+	const runs = 800
+	const men = 30
+	r := testPop(60) // first 30 even IDs are gender=0... use counting on survey 1 stratum 0 (gender=1)
+	m := example6MSSD(6, 6, 6, 6)
+	counts := map[int64]int64{}
+	for run := 0; run < runs; run++ {
+		res, err := Sequential(m, r, rand.New(rand.NewSource(int64(run)*17+1)), SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range res.Answers[0].Strata[0] {
+			counts[tp.ID]++
+		}
+	}
+	vals := make([]int64, 0, len(counts))
+	for _, c := range counts {
+		vals = append(vals, c)
+	}
+	if len(vals) < men-2 {
+		t.Fatalf("only %d distinct men ever selected", len(vals))
+	}
+	p, err := stats.ChiSquareUniformP(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("sequential CPS biased: p = %g", p)
+	}
+}

@@ -1,0 +1,47 @@
+package cps
+
+import (
+	"testing"
+
+	"repro/internal/mapreduce"
+)
+
+// TestCPSOverTCPShuffle runs the entire four-job MR-CPS pipeline with every
+// shuffle travelling gob-encoded over loopback TCP, and checks the outcome
+// matches the in-memory transport exactly (same seed → same individuals).
+func TestCPSOverTCPShuffle(t *testing.T) {
+	r := testPop(400)
+	m := example6MSSD(8, 8, 8, 8)
+	splits := splitsOf(t, r, 3)
+
+	tcpCluster := zcluster(3)
+	tcpCluster.NewTransport = func() (mapreduce.Transport, error) { return mapreduce.NewTCPTransport() }
+	overTCP, err := Run(tcpCluster, m, r.Schema(), splits, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(zcluster(3), m, r.Schema(), splits, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range m.Queries {
+		if err := overTCP.Answers[qi].Satisfies(q, r); err != nil {
+			t.Fatalf("survey %d over TCP: %v", qi, err)
+		}
+		a, b := overTCP.Answers[qi], plain.Answers[qi]
+		for k := range q.Strata {
+			if len(a.Strata[k]) != len(b.Strata[k]) {
+				t.Fatalf("survey %d stratum %d sizes differ across transports", qi, k)
+			}
+			for i := range a.Strata[k] {
+				if a.Strata[k][i].ID != b.Strata[k][i].ID {
+					t.Fatalf("survey %d stratum %d: tuple %d differs across transports", qi, k, i)
+				}
+			}
+		}
+	}
+	if overTCP.Metrics.ShuffleBytes <= plain.Metrics.ShuffleBytes {
+		t.Fatalf("wire bytes %d not above the in-memory estimate %d (gob + frame overhead expected)",
+			overTCP.Metrics.ShuffleBytes, plain.Metrics.ShuffleBytes)
+	}
+}

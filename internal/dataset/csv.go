@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the relation as CSV with an "id,name,<attrs...>" header in
+// schema order.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, r.schema.NumFields()+2)
+	header = append(header, "id", "name")
+	for j := 0; j < r.schema.NumFields(); j++ {
+		header = append(header, r.schema.Field(j).Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := range r.tuples {
+		t := &r.tuples[i]
+		row[0] = strconv.FormatInt(t.ID, 10)
+		row[1] = t.Name
+		for j, v := range t.Attrs {
+			row[j+2] = strconv.FormatInt(v, 10)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation in the WriteCSV format. The header's attribute
+// columns must match the schema's fields exactly (same names, same order);
+// every tuple is validated against the schema's domains.
+func ReadCSV(rd io.Reader, schema *Schema) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = schema.NumFields() + 2
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if header[0] != "id" || header[1] != "name" {
+		return nil, fmt.Errorf("dataset: CSV must start with id,name columns, got %v", header[:2])
+	}
+	for j := 0; j < schema.NumFields(); j++ {
+		if header[j+2] != schema.Field(j).Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q",
+				j+2, header[j+2], schema.Field(j).Name)
+		}
+	}
+	rel := NewRelation(schema)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: bad id %q", line, row[0])
+		}
+		attrs := make([]int64, schema.NumFields())
+		for j := range attrs {
+			attrs[j], err = strconv.ParseInt(row[j+2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d: bad %s value %q",
+					line, schema.Field(j).Name, row[j+2])
+			}
+		}
+		if err := rel.Add(Tuple{ID: id, Name: row[1], Attrs: attrs}); err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+	}
+}

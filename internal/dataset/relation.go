@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is a set of individuals over a schema — the population R of the
+// paper. Tuples are identified by their ID; a relation never stores two
+// tuples with the same ID.
+type Relation struct {
+	schema *Schema
+	tuples []Tuple
+	ids    map[int64]struct{}
+}
+
+// NewRelation creates an empty relation over the schema.
+func NewRelation(schema *Schema) *Relation {
+	return &Relation{schema: schema, ids: make(map[int64]struct{})}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of individuals.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the underlying tuple slice. Callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Tuple returns the i-th tuple in insertion order.
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Add validates the tuple against the schema and appends it. Duplicate IDs
+// and domain violations are rejected.
+func (r *Relation) Add(t Tuple) error {
+	if err := t.ValidFor(r.schema); err != nil {
+		return err
+	}
+	if _, dup := r.ids[t.ID]; dup {
+		return fmt.Errorf("dataset: duplicate tuple id %d", t.ID)
+	}
+	r.ids[t.ID] = struct{}{}
+	r.tuples = append(r.tuples, t)
+	return nil
+}
+
+// MustAdd is like Add but panics on error; for tests and generators that
+// construct tuples known to be valid.
+func (r *Relation) MustAdd(t Tuple) {
+	if err := r.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Contains reports whether the relation holds a tuple with the given ID.
+func (r *Relation) Contains(id int64) bool {
+	_, ok := r.ids[id]
+	return ok
+}
+
+// Select returns the tuples satisfying pred, in insertion order. It is the
+// selection operator σ_φ(R) with a compiled predicate.
+func (r *Relation) Select(pred func(*Tuple) bool) []Tuple {
+	var out []Tuple
+	for i := range r.tuples {
+		if pred(&r.tuples[i]) {
+			out = append(out, r.tuples[i])
+		}
+	}
+	return out
+}
+
+// Count returns |σ_pred(R)| without materialising the selection.
+func (r *Relation) Count(pred func(*Tuple) bool) int {
+	n := 0
+	for i := range r.tuples {
+		if pred(&r.tuples[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// SortByID orders the tuples by ID, giving the relation a canonical order
+// independent of generation interleaving.
+func (r *Relation) SortByID() {
+	sort.Slice(r.tuples, func(i, j int) bool { return r.tuples[i].ID < r.tuples[j].ID })
+}

@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mkTuple(id int64, attrs ...int64) Tuple {
+	return Tuple{ID: id, Attrs: attrs}
+}
+
+func TestRelationAddValidates(t *testing.T) {
+	r := NewRelation(testSchema(t))
+	if err := r.Add(mkTuple(1, 30, 50000, 1)); err != nil {
+		t.Fatalf("valid add: %v", err)
+	}
+	if err := r.Add(mkTuple(1, 40, 60000, 0)); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate-id error, got %v", err)
+	}
+	if err := r.Add(mkTuple(2, 500, 0, 0)); err == nil || !strings.Contains(err.Error(), "outside domain") {
+		t.Fatalf("want domain error, got %v", err)
+	}
+	if err := r.Add(mkTuple(3, 30, 50000)); err == nil || !strings.Contains(err.Error(), "attrs") {
+		t.Fatalf("want arity error, got %v", err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if !r.Contains(1) || r.Contains(2) {
+		t.Fatal("Contains misbehaves")
+	}
+}
+
+func TestRelationSelectAndCount(t *testing.T) {
+	r := NewRelation(testSchema(t))
+	for i := int64(0); i < 10; i++ {
+		r.MustAdd(mkTuple(i, i*10, 1000*i, i%2))
+	}
+	even := func(t *Tuple) bool { return t.Attrs[2] == 0 }
+	sel := r.Select(even)
+	if len(sel) != 5 {
+		t.Fatalf("Select returned %d, want 5", len(sel))
+	}
+	if n := r.Count(even); n != 5 {
+		t.Fatalf("Count = %d, want 5", n)
+	}
+}
+
+func TestRelationSortByID(t *testing.T) {
+	r := NewRelation(testSchema(t))
+	for _, id := range []int64{5, 1, 3, 2, 4} {
+		r.MustAdd(mkTuple(id, 1, 1, 1))
+	}
+	r.SortByID()
+	for i, want := range []int64{1, 2, 3, 4, 5} {
+		if got := r.Tuple(i).ID; got != want {
+			t.Fatalf("tuple %d has ID %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	orig := mkTuple(7, 1, 2, 3)
+	cl := orig.Clone()
+	cl.Attrs[0] = 99
+	if orig.Attrs[0] != 1 {
+		t.Fatal("Clone must deep-copy attrs")
+	}
+}
+
+func TestTupleByteSizeAndString(t *testing.T) {
+	tp := Tuple{ID: 1, Name: "ab", Attrs: []int64{1, 2}}
+	if got := tp.ByteSize(); got != 8+2+16 {
+		t.Fatalf("ByteSize = %d, want 26", got)
+	}
+	if s := tp.String(); !strings.Contains(s, "#1(ab)[1 2]") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func partitionTestRelation(t *testing.T, n int) *Relation {
+	t.Helper()
+	r := NewRelation(testSchema(t))
+	for i := int64(0); i < int64(n); i++ {
+		r.MustAdd(mkTuple(i, i%120, i, i%2))
+	}
+	return r
+}
+
+func checkUnion(t *testing.T, r *Relation, splits []Split) {
+	t.Helper()
+	seen := make(map[int64]int)
+	total := 0
+	for _, s := range splits {
+		for _, tp := range s {
+			seen[tp.ID]++
+			total++
+		}
+	}
+	if total != r.Len() {
+		t.Fatalf("splits hold %d tuples, relation has %d", total, r.Len())
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("tuple %d appears %d times", id, c)
+		}
+	}
+}
+
+func TestPartitionStrategiesPreserveUnion(t *testing.T) {
+	r := partitionTestRelation(t, 101)
+	rng := rand.New(rand.NewSource(1))
+	for _, strat := range []Partitioning{RoundRobin, Contiguous, Skewed, ShuffledContiguous} {
+		splits, err := Partition(r, 7, strat, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if len(splits) != 7 {
+			t.Fatalf("%v: %d splits, want 7", strat, len(splits))
+		}
+		checkUnion(t, r, splits)
+	}
+}
+
+func TestPartitionRoundRobinBalance(t *testing.T) {
+	r := partitionTestRelation(t, 100)
+	splits, err := Partition(r, 4, RoundRobin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sz := range SplitSizes(splits) {
+		if sz != 25 {
+			t.Fatalf("split %d has %d tuples, want 25", i, sz)
+		}
+	}
+}
+
+func TestPartitionSkewedIsSkewed(t *testing.T) {
+	r := partitionTestRelation(t, 1000)
+	splits, err := Partition(r, 4, Skewed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := SplitSizes(splits)
+	if !(sizes[0] < sizes[1] && sizes[1] < sizes[2] && sizes[2] < sizes[3]) {
+		t.Fatalf("sizes %v are not increasing", sizes)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	r := partitionTestRelation(t, 10)
+	if _, err := Partition(r, 0, RoundRobin, nil); err == nil {
+		t.Fatal("want error for 0 splits")
+	}
+	if _, err := Partition(r, 2, ShuffledContiguous, nil); err == nil {
+		t.Fatal("want error for nil rng with ShuffledContiguous")
+	}
+	if _, err := Partition(r, 2, Partitioning(99), nil); err == nil {
+		t.Fatal("want error for unknown strategy")
+	}
+}
+
+func TestPartitioningString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || Partitioning(99).String() == "" {
+		t.Fatal("Partitioning.String misbehaves")
+	}
+}
+
+func TestParsePartitioning(t *testing.T) {
+	for _, p := range []Partitioning{RoundRobin, Contiguous, Skewed, ShuffledContiguous} {
+		got, err := ParsePartitioning(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip of %v: %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePartitioning("nope"); err == nil {
+		t.Fatal("want error for unknown name")
+	}
+}

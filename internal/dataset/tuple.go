@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple represents one individual of the surveyed population. ID is a unique
+// identifier (the paper's "id" attribute), Name a display name, and Attrs the
+// integer attribute values in schema order.
+type Tuple struct {
+	ID    int64
+	Name  string
+	Attrs []int64
+}
+
+// Attr returns the value of the i-th attribute.
+func (t *Tuple) Attr(i int) int64 { return t.Attrs[i] }
+
+// Clone returns a deep copy of the tuple.
+func (t *Tuple) Clone() Tuple {
+	attrs := make([]int64, len(t.Attrs))
+	copy(attrs, t.Attrs)
+	return Tuple{ID: t.ID, Name: t.Name, Attrs: attrs}
+}
+
+// ByteSize estimates the wire size of the tuple when shuffled between
+// machines: 8 bytes per integer attribute plus the id and the name bytes.
+// The MapReduce engine uses it for shuffle accounting.
+func (t Tuple) ByteSize() int {
+	return 8 + len(t.Name) + 8*len(t.Attrs)
+}
+
+// String renders the tuple for debugging.
+func (t Tuple) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d", t.ID)
+	if t.Name != "" {
+		fmt.Fprintf(&b, "(%s)", t.Name)
+	}
+	b.WriteByte('[')
+	for i, v := range t.Attrs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// ValidFor reports an error if the tuple does not conform to the schema:
+// wrong arity or a value outside its field's domain.
+func (t *Tuple) ValidFor(s *Schema) error {
+	if len(t.Attrs) != s.NumFields() {
+		return fmt.Errorf("dataset: tuple #%d has %d attrs, schema has %d fields", t.ID, len(t.Attrs), s.NumFields())
+	}
+	for i, v := range t.Attrs {
+		if f := s.Field(i); !f.Contains(v) {
+			return fmt.Errorf("dataset: tuple #%d attr %s=%d outside domain [%d, %d]", t.ID, f.Name, v, f.Min, f.Max)
+		}
+	}
+	return nil
+}

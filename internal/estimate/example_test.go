@@ -1,0 +1,31 @@
+package estimate_test
+
+import (
+	"fmt"
+
+	"repro/internal/estimate"
+)
+
+// Estimate a population mean from a stratified sample: strata are weighted
+// by their population shares, so a small guaranteed quota for a rare group
+// suffices.
+func ExampleStratifiedMean() {
+	strata := []estimate.StratumSummary{
+		{PopSize: 9000, Values: []float64{10, 11, 9, 10}},     // common group
+		{PopSize: 1000, Values: []float64{100, 104, 96, 100}}, // rare group
+	}
+	m, _ := estimate.StratifiedMean(strata)
+	fmt.Printf("mean ≈ %.1f from n=%d\n", m.Estimate, m.SampleSize)
+	// Output:
+	// mean ≈ 19.0 from n=8
+}
+
+// Neyman allocation splits an interview budget by N_k·S_k: volatile strata
+// get more interviews.
+func ExampleNeyman() {
+	popSizes := []int64{8000, 2000}
+	stdevs := []float64{1, 20} // the small stratum varies wildly
+	fmt.Println(estimate.Neyman(popSizes, stdevs, 48))
+	// Output:
+	// [8 40]
+}

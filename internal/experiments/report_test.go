@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Header:  []string{"col", "longer-column"},
+		Rows:    [][]string{{"a-very-long-cell", "b"}, {"c", "d"}},
+		Caption: "caption line",
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	got := buf.String()
+	want := "== demo ==\n" +
+		"col               longer-column\n" +
+		"----------------  -------------\n" +
+		"a-very-long-cell  b\n" +
+		"c                 d\n" +
+		"caption line\n\n"
+	if got != want {
+		t.Fatalf("render mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestTableRenderNoCaption(t *testing.T) {
+	tab := &Table{Title: "x", Header: []string{"h"}, Rows: [][]string{{"v"}}}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if strings.Count(buf.String(), "\n") != 5 { // title, header, sep, row, trailing blank
+		t.Fatalf("unexpected line count in %q", buf.String())
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if pct(0.62) != "62%" || pct1(0.055) != "5.5%" {
+		t.Fatal("pct helpers wrong")
+	}
+	if money(1234.4) != "$1234" || num(1.234) != "1.23" {
+		t.Fatal("money/num helpers wrong")
+	}
+	if seconds(0.5) != "0.500s" || seconds(12.345) != "12.35s" {
+		t.Fatal("seconds helper wrong")
+	}
+}

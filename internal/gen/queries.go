@@ -1,0 +1,179 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+// GroupParams parameterises a query group as in Section 6.1.2: n SSD
+// queries, each over mc attributes partitioned into msr subranges, yielding
+// m = msr^mc pairwise-disjoint strata per SSD.
+//
+// The paper describes a stratum as a combination of subrange formulas with
+// m = (msr)^mc; the only construction yielding that many pairwise-disjoint
+// strata is the cartesian product of per-attribute subranges, i.e. each
+// stratum is the conjunction of one subrange per chosen attribute (see
+// DESIGN.md).
+type GroupParams struct {
+	Name string
+	N    int // number of SSDs
+	MSR  int // subranges per attribute
+	MC   int // attributes combined per stratum
+}
+
+// StrataPerSSD returns m = msr^mc.
+func (p GroupParams) StrataPerSSD() int {
+	m := 1
+	for i := 0; i < p.MC; i++ {
+		m *= p.MSR
+	}
+	return m
+}
+
+// The paper's three query groups.
+var (
+	Small  = GroupParams{Name: "Small", N: 3, MSR: 4, MC: 2}  // m = 16
+	Medium = GroupParams{Name: "Medium", N: 6, MSR: 4, MC: 3} // m = 64
+	Large  = GroupParams{Name: "Large", N: 9, MSR: 4, MC: 4}  // m = 256
+)
+
+// Groups lists the paper's query groups in size order.
+func Groups() []GroupParams { return []GroupParams{Small, Medium, Large} }
+
+// QueryGroup generates the group's SSD queries over the population. totalSample
+// is the required sample size of each SSD (the paper uses 100, 1000 and
+// 10000); it is spread over the SSD's strata as evenly as integrality
+// allows. The construction is deterministic in rng.
+//
+// All SSDs of a group stratify the same mc attributes; each SSD partitions
+// them with its own ±10%-jittered boundaries — the paper's "error of 10
+// percent, to create diversity". Aligned-but-not-identical strata across
+// surveys are what make sharing individuals between surveys possible at all:
+// two surveys can only share individuals whose stratum-selection frequencies
+// co-occur, which requires the surveys' strata to overlap substantially.
+//
+// "Ranges of equal size" is implemented as equal *population* size
+// (jittered quantile boundaries). Equal-width ranges over the heavy-tailed
+// attributes of Table 1 leave most strata nearly empty, which forces both
+// MR-MQE and MR-CPS to select the same few tail individuals — a regime
+// flatly contradicted by the paper's measurement that MR-MQE's incidental
+// sharing never exceeded 4% (see DESIGN.md).
+func QueryGroup(p GroupParams, pop *dataset.Relation, totalSample int, rng *rand.Rand) ([]*query.SSD, error) {
+	schema := pop.Schema()
+	if p.MC > schema.NumFields() {
+		return nil, fmt.Errorf("gen: group %s needs %d attributes, schema has %d", p.Name, p.MC, schema.NumFields())
+	}
+	attrs := pickAttrs(schema, p.MC, rng)
+	sorted := make(map[int][]int64, p.MC)
+	for _, attr := range attrs {
+		sorted[attr] = sortedAttrValues(pop, attr)
+	}
+	queries := make([]*query.SSD, p.N)
+	for qi := 0; qi < p.N; qi++ {
+		cuts := make([][]predicate.Expr, p.MC)
+		for ai, attr := range attrs {
+			cuts[ai] = subrangeFormulas(schema.Field(attr), sorted[attr], p.MSR, rng)
+		}
+		m := p.StrataPerSSD()
+		freqs := spread(totalSample, m)
+		strata := make([]query.Stratum, 0, m)
+		// Enumerate the cartesian product of subranges.
+		idx := make([]int, p.MC)
+		for s := 0; s < m; s++ {
+			parts := make([]predicate.Expr, p.MC)
+			for ai := range idx {
+				parts[ai] = cuts[ai][idx[ai]]
+			}
+			strata = append(strata, query.Stratum{
+				Cond: predicate.AndAll(parts...),
+				Freq: freqs[s],
+			})
+			for ai := p.MC - 1; ai >= 0; ai-- {
+				idx[ai]++
+				if idx[ai] < p.MSR {
+					break
+				}
+				idx[ai] = 0
+			}
+		}
+		queries[qi] = query.NewSSD(fmt.Sprintf("%s-Q%d", p.Name, qi+1), strata...)
+	}
+	return queries, nil
+}
+
+// pickAttrs chooses mc distinct attribute indexes.
+func pickAttrs(schema *dataset.Schema, mc int, rng *rand.Rand) []int {
+	perm := rng.Perm(schema.NumFields())
+	return perm[:mc]
+}
+
+// sortedAttrValues extracts and sorts the attribute column; quantile
+// boundaries are read from it.
+func sortedAttrValues(pop *dataset.Relation, attr int) []int64 {
+	vals := make([]int64, pop.Len())
+	for i := 0; i < pop.Len(); i++ {
+		vals[i] = pop.Tuple(i).Attrs[attr]
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	return vals
+}
+
+// subrangeFormulas cuts the field's domain into msr disjoint subranges of
+// near-equal population size, with ±10% jitter on the interior quantile
+// positions ("an error of 10 percent, to create diversity"), returning one
+// range formula per subrange. The union of the subranges covers the whole
+// domain. Integer-valued attributes can concentrate many individuals on one
+// value, so realised bin populations are equal only approximately.
+func subrangeFormulas(f dataset.Field, sorted []int64, msr int, rng *rand.Rand) []predicate.Expr {
+	bounds := make([]int64, msr+1)
+	bounds[0] = f.Min
+	bounds[msr] = f.Max + 1
+	binFrac := 1.0 / float64(msr)
+	for i := 1; i < msr; i++ {
+		q := binFrac * float64(i)
+		q += (rng.Float64()*2 - 1) * 0.10 * binFrac
+		idx := int(q * float64(len(sorted)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		b := sorted[idx] + 1 // boundary just above the quantile value
+		if b <= bounds[i-1] {
+			b = bounds[i-1] + 1
+		}
+		if b > f.Max {
+			b = f.Max
+		}
+		bounds[i] = b
+	}
+	out := make([]predicate.Expr, msr)
+	for i := 0; i < msr; i++ {
+		lo, hi := bounds[i], bounds[i+1]-1
+		out[i] = predicate.And{
+			L: predicate.Compare{Attr: f.Name, Op: predicate.Ge, Value: lo},
+			R: predicate.Compare{Attr: f.Name, Op: predicate.Le, Value: hi},
+		}
+	}
+	return out
+}
+
+// spread distributes total over m slots as evenly as possible.
+func spread(total, m int) []int {
+	out := make([]int, m)
+	base := total / m
+	rem := total % m
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}

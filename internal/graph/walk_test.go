@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func walkGraph(t *testing.T) (*Coauthorship, Adjacency) {
+	t.Helper()
+	g, err := Generate(DefaultParams(2000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, g.Adjacency()
+}
+
+// hubStart picks a well-connected start node so crawls don't stall in a
+// tiny component.
+func hubStart(adj Adjacency) int {
+	best := 0
+	for a := range adj {
+		if len(adj[a]) > len(adj[best]) {
+			best = a
+		}
+	}
+	return best
+}
+
+func TestAdjacencySymmetricNoSelfLoops(t *testing.T) {
+	_, adj := walkGraph(t)
+	back := make([]map[int]bool, len(adj))
+	for a := range adj {
+		back[a] = map[int]bool{}
+		for _, b := range adj[a] {
+			if b == a {
+				t.Fatalf("self loop at %d", a)
+			}
+			back[a][b] = true
+		}
+	}
+	for a := range adj {
+		for _, b := range adj[a] {
+			if !back[b][a] {
+				t.Fatalf("edge %d→%d not symmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestBFSSampleShape(t *testing.T) {
+	_, adj := walkGraph(t)
+	rng := rand.New(rand.NewSource(1))
+	start := hubStart(adj)
+	s, err := BFSSample(adj, start, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 100 {
+		t.Fatalf("BFS returned %d nodes", len(s))
+	}
+	seen := map[int]bool{}
+	for _, a := range s {
+		if seen[a] {
+			t.Fatalf("duplicate node %d", a)
+		}
+		seen[a] = true
+	}
+	if s[0] != start {
+		t.Fatal("sample must start at the seed")
+	}
+}
+
+func TestWalkErrors(t *testing.T) {
+	_, adj := walkGraph(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BFSSample(adj, -1, 5, rng); err == nil {
+		t.Fatal("want bad-start error")
+	}
+	if _, err := RandomWalkSample(adj, 0, 0, 10, rng); err == nil {
+		t.Fatal("want bad-n error")
+	}
+	if _, err := MetropolisHastingsSample(adj, len(adj), 5, 10, rng); err == nil {
+		t.Fatal("want bad-start error")
+	}
+}
+
+// TestCrawlBiasTowardHubs is the related-work point (Kurant et al., "On the
+// bias of BFS"): BFS and random-walk samples over-represent high-degree
+// nodes, while the Metropolis–Hastings walk corrects the bias.
+func TestCrawlBiasTowardHubs(t *testing.T) {
+	_, adj := walkGraph(t)
+	popMean := adj.MeanDegree()
+	start := hubStart(adj)
+
+	const n, runs = 150, 30
+	var bfsMean, rwMean, mhMean float64
+	for run := 0; run < runs; run++ {
+		rng := rand.New(rand.NewSource(int64(run) + 100))
+		bfs, err := BFSSample(adj, start, n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfsMean += SampleMeanDegree(adj, bfs)
+		rw, err := RandomWalkSample(adj, start, n, 200000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rwMean += SampleMeanDegree(adj, rw)
+		mh, err := MetropolisHastingsSample(adj, start, n, 400000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mhMean += SampleMeanDegree(adj, mh)
+	}
+	bfsMean /= runs
+	rwMean /= runs
+	mhMean /= runs
+
+	if bfsMean < popMean*1.3 {
+		t.Fatalf("BFS sample mean degree %.2f not clearly above population %.2f", bfsMean, popMean)
+	}
+	if rwMean < popMean*1.3 {
+		t.Fatalf("random-walk sample mean degree %.2f not clearly above population %.2f", rwMean, popMean)
+	}
+	if mhMean > rwMean*0.9 {
+		t.Fatalf("MH mean degree %.2f should sit well below the raw walk's %.2f", mhMean, rwMean)
+	}
+}
+
+func TestRandomWalkStuckOnIsolatedNode(t *testing.T) {
+	adj := Adjacency{{}, {}} // two isolated nodes
+	rng := rand.New(rand.NewSource(1))
+	s, err := RandomWalkSample(adj, 0, 5, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 1 {
+		t.Fatalf("stuck walk returned %d nodes", len(s))
+	}
+}

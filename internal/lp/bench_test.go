@@ -1,0 +1,81 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sharingBlock builds a Figure 3 per-σ block for n surveys with random
+// frequencies: 2^n−1 variables, n+1 constraints.
+func sharingBlock(n int, rng *rand.Rand) *Problem {
+	nv := (1 << n) - 1
+	p := NewProblem(nv)
+	for v := 0; v < nv; v++ {
+		p.Obj[v] = float64(rng.Intn(10) + 1)
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		row := make([]float64, nv)
+		for v := 0; v < nv; v++ {
+			if (v+1)&(1<<i) != 0 {
+				row[v] = 1
+			}
+		}
+		f := float64(rng.Intn(20) + 1)
+		total += f
+		_ = p.AddConstraint(row, EQ, f)
+	}
+	row := make([]float64, nv)
+	for v := range row {
+		row[v] = 1
+	}
+	_ = p.AddConstraint(row, LE, total)
+	return p
+}
+
+func BenchmarkSimplexSharingBlock(b *testing.B) {
+	for _, n := range []int{3, 6, 9} {
+		b.Run(itoa(n)+"-surveys", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			probs := make([]*Problem, 16)
+			for i := range probs {
+				probs[i] = sharingBlock(n, rng)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := Solve(probs[i%len(probs)])
+				if err != nil || sol.Status != Optimal {
+					b.Fatalf("%v %v", sol, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBranchAndBoundSharingBlock(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	probs := make([]*Problem, 16)
+	for i := range probs {
+		probs[i] = sharingBlock(4, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveInteger(probs[i%len(probs)], 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,98 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// intTol is the tolerance within which a value counts as integral.
+const intTol = 1e-6
+
+// SolveInteger solves the problem with all variables restricted to
+// non-negative integers, by branch-and-bound over LP relaxations. maxNodes
+// bounds the search (0 means a generous default); exceeding it returns an
+// error rather than a silently suboptimal answer.
+//
+// The CPS optimality analysis (Section 6.2.2) uses this as the exact IP
+// reference that the paper's LP relaxation is compared against.
+func SolveInteger(p *Problem, maxNodes int) (*Solution, error) {
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	best := &Solution{Status: Infeasible, Objective: math.Inf(1)}
+	nodes := 0
+
+	var search func(prob *Problem) error
+	search = func(prob *Problem) error {
+		nodes++
+		if nodes > maxNodes {
+			return fmt.Errorf("lp: branch-and-bound exceeded %d nodes", maxNodes)
+		}
+		sol, err := Solve(prob)
+		if err != nil {
+			return err
+		}
+		if sol.Status == Infeasible {
+			return nil
+		}
+		if sol.Status == Unbounded {
+			return fmt.Errorf("lp: integer program relaxation unbounded")
+		}
+		if best.Status == Optimal && sol.Objective >= best.Objective-intTol {
+			return nil // bound: cannot beat incumbent
+		}
+		frac := mostFractional(sol.X)
+		if frac < 0 {
+			// Integral solution; it beats the incumbent (checked above).
+			x := make([]float64, len(sol.X))
+			for j, v := range sol.X {
+				x[j] = math.Round(v)
+			}
+			best = &Solution{Status: Optimal, X: x, Objective: sol.Objective}
+			return nil
+		}
+		v := sol.X[frac]
+		down := prob.Clone()
+		coef := unitRow(prob.NumVars(), frac)
+		if err := down.AddConstraint(coef, LE, math.Floor(v)); err != nil {
+			return err
+		}
+		if err := search(down); err != nil {
+			return err
+		}
+		up := prob.Clone()
+		if err := up.AddConstraint(coef, GE, math.Ceil(v)); err != nil {
+			return err
+		}
+		return search(up)
+	}
+
+	if err := search(p); err != nil {
+		return nil, err
+	}
+	if best.Status != Optimal {
+		return &Solution{Status: Infeasible}, nil
+	}
+	return best, nil
+}
+
+// mostFractional returns the index of the variable farthest from an integer,
+// or -1 if all are integral within tolerance.
+func mostFractional(x []float64) int {
+	best := -1
+	bestDist := intTol
+	for j, v := range x {
+		f := math.Abs(v - math.Round(v))
+		if f > bestDist {
+			bestDist = f
+			best = j
+		}
+	}
+	return best
+}
+
+func unitRow(n, j int) []float64 {
+	row := make([]float64, n)
+	row[j] = 1
+	return row
+}

@@ -1,0 +1,171 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveIntegerSimple(t *testing.T) {
+	// min -x - y s.t. 2x + 3y <= 12, x <= 4 with fractional LP optimum.
+	p := NewProblem(2)
+	p.Obj = []float64{-1, -1}
+	mustAdd(t, p, []float64{2, 3}, LE, 12)
+	mustAdd(t, p, []float64{1, 0}, LE, 4)
+	sol, err := SolveInteger(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Integer optimum: x=4, y=1 → obj -5 (LP relaxation would give
+	// x=4, y=4/3 → -16/3 ≈ -5.33).
+	if !approx(sol.Objective, -5) {
+		t.Fatalf("objective %g, want -5", sol.Objective)
+	}
+	for _, v := range sol.X {
+		if math.Abs(v-math.Round(v)) > 1e-9 {
+			t.Fatalf("non-integral solution %v", sol.X)
+		}
+	}
+}
+
+func TestSolveIntegerInfeasible(t *testing.T) {
+	// 2x = 3 has no integer solution (x=1.5 LP-feasible).
+	p := NewProblem(1)
+	p.Obj = []float64{1}
+	mustAdd(t, p, []float64{2}, EQ, 3)
+	sol, err := SolveInteger(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveIntegerAlreadyIntegral(t *testing.T) {
+	p := NewProblem(2)
+	p.Obj = []float64{1, 1}
+	mustAdd(t, p, []float64{1, 1}, EQ, 4)
+	sol, err := SolveInteger(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 4) {
+		t.Fatalf("objective %g", sol.Objective)
+	}
+}
+
+func TestSolveIntegerNodeLimit(t *testing.T) {
+	// Root relaxation is fractional (x = 1.5), so branching is required
+	// and a 1-node budget must error out.
+	p := NewProblem(1)
+	p.Obj = []float64{1}
+	mustAdd(t, p, []float64{2}, EQ, 3)
+	if _, err := SolveInteger(p, 1); err == nil {
+		t.Fatal("want node-limit error")
+	}
+}
+
+// bruteForceSharing computes the optimal integral sharing assignment for a
+// 2-survey Figure 3 block by enumeration.
+func bruteForceSharing(f1, f2, limit int64, c1, c2, c12 float64) float64 {
+	best := math.Inf(1)
+	for share := int64(0); share <= min64(f1, f2); share++ {
+		x1 := f1 - share
+		x2 := f2 - share
+		if x1+x2+share > limit {
+			continue
+		}
+		cost := float64(x1)*c1 + float64(x2)*c2 + float64(share)*c12
+		if cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestQuickIntegerSharingMatchesBruteForce: random 2-survey blocks; branch
+// and bound must match exhaustive search.
+func TestQuickIntegerSharingMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f1 := rng.Int63n(8) + 1
+		f2 := rng.Int63n(8) + 1
+		limit := max64(f1, f2) + rng.Int63n(6)
+		c1 := float64(rng.Intn(9) + 1)
+		c2 := float64(rng.Intn(9) + 1)
+		c12 := float64(rng.Intn(25) + 1)
+
+		p := NewProblem(3) // X{1}, X{2}, X{1,2}
+		p.Obj = []float64{c1, c2, c12}
+		_ = p.AddConstraint([]float64{1, 0, 1}, EQ, float64(f1))
+		_ = p.AddConstraint([]float64{0, 1, 1}, EQ, float64(f2))
+		_ = p.AddConstraint([]float64{1, 1, 1}, LE, float64(limit))
+		sol, err := SolveInteger(p, 0)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		want := bruteForceSharing(f1, f2, limit, c1, c2, c12)
+		return math.Abs(sol.Objective-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestQuickLPLowerBoundsIP: on random feasible blocks, C_LP ≤ C_IP — the
+// ordering the optimality analysis of Section 6.2.2 relies on.
+func TestQuickLPLowerBoundsIP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := rng.Intn(4) + 2
+		p := NewProblem(nv)
+		for j := 0; j < nv; j++ {
+			p.Obj[j] = float64(rng.Intn(10) + 1)
+		}
+		row := make([]float64, nv)
+		for j := range row {
+			row[j] = 1
+		}
+		_ = p.AddConstraint(row, GE, float64(rng.Intn(10)+1))
+		lpSol, err := Solve(p)
+		if err != nil || lpSol.Status != Optimal {
+			return false
+		}
+		ipSol, err := SolveInteger(p, 0)
+		if err != nil || ipSol.Status != Optimal {
+			return false
+		}
+		return lpSol.Objective <= ipSol.Objective+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusAndRelStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status.String wrong")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Rel.String wrong")
+	}
+}

@@ -1,0 +1,32 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+)
+
+// Solve a small sharing block: two surveys need 3 and 5 individuals of the
+// same kind; sharing one individual between both costs one interview.
+func ExampleSolve() {
+	p := lp.NewProblem(3) // X{1}, X{2}, X{1,2}
+	p.Obj = []float64{4, 4, 4}
+	p.AddConstraint([]float64{1, 0, 1}, lp.EQ, 3)  // survey 1 total
+	p.AddConstraint([]float64{0, 1, 1}, lp.EQ, 5)  // survey 2 total
+	p.AddConstraint([]float64{1, 1, 1}, lp.LE, 20) // population limit
+	sol, _ := lp.Solve(p)
+	fmt.Printf("status=%v cost=$%.0f shared=%.0f\n", sol.Status, sol.Objective, sol.X[2])
+	// Output:
+	// status=optimal cost=$20 shared=3
+}
+
+// Branch and bound yields exact integer optima for the same blocks.
+func ExampleSolveInteger() {
+	p := lp.NewProblem(1)
+	p.Obj = []float64{1}
+	p.AddConstraint([]float64{2}, lp.GE, 3) // 2x >= 3 → x >= 1.5 → x = 2
+	sol, _ := lp.SolveInteger(p, 0)
+	fmt.Printf("x=%.0f\n", sol.X[0])
+	// Output:
+	// x=2
+}

@@ -1,0 +1,181 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveSimpleLE(t *testing.T) {
+	// min -x - 2y s.t. x + y <= 4, x <= 2  → x=0, y=4, obj=-8.
+	p := NewProblem(2)
+	p.Obj = []float64{-1, -2}
+	mustAdd(t, p, []float64{1, 1}, LE, 4)
+	mustAdd(t, p, []float64{1, 0}, LE, 2)
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, -8) {
+		t.Fatalf("objective %g, want -8", sol.Objective)
+	}
+	if !approx(sol.X[1], 4) {
+		t.Fatalf("y = %g, want 4", sol.X[1])
+	}
+}
+
+func TestSolveWithEquality(t *testing.T) {
+	// min x + y s.t. x + y = 3, x - y <= 1 → any point on x+y=3 has obj 3.
+	p := NewProblem(2)
+	p.Obj = []float64{1, 1}
+	mustAdd(t, p, []float64{1, 1}, EQ, 3)
+	mustAdd(t, p, []float64{1, -1}, LE, 1)
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, 3) {
+		t.Fatalf("objective %g, want 3", sol.Objective)
+	}
+	if !approx(sol.X[0]+sol.X[1], 3) {
+		t.Fatalf("x+y = %g, want 3", sol.X[0]+sol.X[1])
+	}
+}
+
+func TestSolveWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2 → x=10? check: y=0, x=10 obj 20;
+	// or x=2,y=8 obj 28. Optimal x=10, y=0, obj=20.
+	p := NewProblem(2)
+	p.Obj = []float64{2, 3}
+	mustAdd(t, p, []float64{1, 1}, GE, 10)
+	mustAdd(t, p, []float64{1, 0}, GE, 2)
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, 20) {
+		t.Fatalf("objective %g, want 20", sol.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.Obj = []float64{1}
+	mustAdd(t, p, []float64{1}, GE, 5)
+	mustAdd(t, p, []float64{1}, LE, 3)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.Obj = []float64{-1}
+	mustAdd(t, p, []float64{1}, GE, 0)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -5 (i.e. x >= 5) → x=5.
+	p := NewProblem(1)
+	p.Obj = []float64{1}
+	mustAdd(t, p, []float64{-1}, LE, -5)
+	sol := mustSolve(t, p)
+	if !approx(sol.X[0], 5) {
+		t.Fatalf("x = %g, want 5", sol.X[0])
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A classic degenerate vertex; Bland's rule must terminate.
+	p := NewProblem(3)
+	p.Obj = []float64{-0.75, 150, -0.02}
+	mustAdd(t, p, []float64{0.25, -60, -0.04}, LE, 0)
+	mustAdd(t, p, []float64{0.5, -90, -0.02}, LE, 0)
+	mustAdd(t, p, []float64{0, 0, 1}, LE, 1)
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, -0.05) {
+		t.Fatalf("objective %g, want -0.05", sol.Objective)
+	}
+}
+
+func TestSolveZeroVariables(t *testing.T) {
+	p := NewProblem(0)
+	sol := mustSolve(t, p)
+	if sol.Objective != 0 {
+		t.Fatalf("objective %g", sol.Objective)
+	}
+}
+
+func TestSolveRedundantEqualities(t *testing.T) {
+	// x + y = 2 stated twice must not break phase 1.
+	p := NewProblem(2)
+	p.Obj = []float64{1, 2}
+	mustAdd(t, p, []float64{1, 1}, EQ, 2)
+	mustAdd(t, p, []float64{1, 1}, EQ, 2)
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, 2) { // x=2, y=0
+		t.Fatalf("objective %g, want 2", sol.Objective)
+	}
+}
+
+// TestSolveSharingShape solves the Figure 3 block for the paper's Example 6
+// intuition: two surveys both want individuals of a selection with
+// F1=3, F2=5, L=6; sharing costs one interview ($4). Optimal: share 3
+// (X{1,2}=3), 2 alone for survey 2, cost 3·4 + 2·4 = 20.
+func TestSolveSharingShape(t *testing.T) {
+	// Variables: X{1}, X{2}, X{1,2}.
+	p := NewProblem(3)
+	p.Obj = []float64{4, 4, 4}
+	mustAdd(t, p, []float64{1, 0, 1}, EQ, 3) // survey 1
+	mustAdd(t, p, []float64{0, 1, 1}, EQ, 5) // survey 2
+	mustAdd(t, p, []float64{1, 1, 1}, LE, 6) // L(σ)
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, 20) {
+		t.Fatalf("objective %g, want 20", sol.Objective)
+	}
+	if !approx(sol.X[2], 3) {
+		t.Fatalf("X{1,2} = %g, want 3", sol.X[2])
+	}
+}
+
+func TestProblemHelpers(t *testing.T) {
+	p := NewProblem(2)
+	p.Obj = []float64{1, 4}
+	p.Names = []string{"a", "b"}
+	mustAdd(t, p, []float64{1}, LE, 3) // short row zero-extends
+	if err := p.AddConstraint([]float64{1, 2, 3}, LE, 1); err == nil {
+		t.Fatal("want error for too-long coefficient row")
+	}
+	cl := p.Clone()
+	cl.Obj[0] = 99
+	cl.Cons[0].Coeffs[0] = 99
+	if p.Obj[0] != 1 || p.Cons[0].Coeffs[0] != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+	s := p.String()
+	if s == "" || p.NumVars() != 2 {
+		t.Fatal("String/NumVars broken")
+	}
+}
+
+func mustAdd(t *testing.T, p *Problem, coeffs []float64, rel Rel, b float64) {
+	t.Helper()
+	if err := p.AddConstraint(coeffs, rel, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v, want optimal", sol.Status)
+	}
+	return sol
+}

@@ -1,0 +1,52 @@
+package mapreduce
+
+import (
+	"strconv"
+	"testing"
+)
+
+// BenchmarkEngine runs a counting job over synthetic splits, measuring
+// engine overhead per record.
+func BenchmarkEngine(b *testing.B) {
+	splits := make([][]int, 16)
+	for s := range splits {
+		rows := make([]int, 2000)
+		for i := range rows {
+			rows[i] = s*2000 + i
+		}
+		splits[s] = rows
+	}
+	job := &Job[int, int, int64, int64]{
+		Name: "mod-count",
+		Mapper: MapperFunc[int, int, int64](func(_ *TaskContext, v int, emit func(int, int64)) {
+			emit(v%64, 1)
+		}),
+		Combiner: CombinerFunc[int, int64](func(_ *TaskContext, _ int, vs []int64, emit func(int64)) {
+			var sum int64
+			for _, v := range vs {
+				sum += v
+			}
+			emit(sum)
+		}),
+		Reducer: ReducerFunc[int, int64, int64](func(_ *TaskContext, _ int, vs []int64, emit func(int64)) {
+			var sum int64
+			for _, v := range vs {
+				sum += v
+			}
+			emit(sum)
+		}),
+		KeyString: func(k int) string { return strconv.Itoa(k) },
+	}
+	cluster := &Cluster{Slaves: 4, SlotsPerSlave: 2, Cost: ZeroCostModel()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job.Seed = int64(i)
+		res, err := Run(cluster, job, splits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Metrics.MapInputRecords != 32000 {
+			b.Fatal("wrong input count")
+		}
+	}
+}

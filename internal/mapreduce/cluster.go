@@ -1,0 +1,56 @@
+package mapreduce
+
+import "fmt"
+
+// Cluster models the distributed system the job runs on: a number of slave
+// machines, each offering task slots, and a cost model for the virtual clock.
+// The master is implicit. It corresponds to the paper's EC2 deployment of
+// one master plus 1–10 slaves.
+type Cluster struct {
+	// Slaves is the number of worker machines (≥ 1).
+	Slaves int
+	// SlotsPerSlave is how many tasks a slave can run at once (≥ 1).
+	SlotsPerSlave int
+	// Cost converts measured task counters into simulated durations.
+	Cost CostModel
+	// Faults, when non-nil, injects task failures and stragglers into the
+	// virtual clock (deterministic re-execution; see FaultModel).
+	Faults *FaultModel
+	// NewTransport, when non-nil, supplies a fresh shuffle Transport for
+	// every job run; the shuffle then travels serialized (and, for
+	// TCPTransport, over a real network stack) and ShuffleBytes report
+	// wire bytes. Keys and values must be gob-encodable. The engine closes
+	// the transport when the job finishes.
+	NewTransport func() (Transport, error)
+	// MaxParallelism caps the real goroutine parallelism used to execute
+	// tasks, independent of the simulated slot count. 0 means "as many as
+	// slots".
+	MaxParallelism int
+}
+
+// NewCluster returns a cluster with n slaves, one slot per slave, and the
+// default cost model.
+func NewCluster(n int) *Cluster {
+	return &Cluster{Slaves: n, SlotsPerSlave: 1, Cost: DefaultCostModel()}
+}
+
+// Validate reports a configuration error, if any.
+func (c *Cluster) Validate() error {
+	if c.Slaves < 1 {
+		return fmt.Errorf("mapreduce: cluster needs at least 1 slave, got %d", c.Slaves)
+	}
+	if c.SlotsPerSlave < 1 {
+		return fmt.Errorf("mapreduce: cluster needs at least 1 slot per slave, got %d", c.SlotsPerSlave)
+	}
+	return nil
+}
+
+// Slots is the total number of simultaneous task slots.
+func (c *Cluster) Slots() int { return c.Slaves * c.SlotsPerSlave }
+
+func (c *Cluster) workers() int {
+	if c.MaxParallelism > 0 {
+		return c.MaxParallelism
+	}
+	return c.Slots()
+}

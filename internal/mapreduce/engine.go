@@ -1,0 +1,265 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Result is the outcome of a job run: output records (in deterministic
+// order: by reducer index, then key order within the reducer) and metrics.
+type Result[O any] struct {
+	Output  []O
+	Metrics Metrics
+}
+
+// mapTaskOutput is what one map task contributes to one reducer.
+type mapTaskOutput[K comparable, V any] struct {
+	pairs []Pair[K, V]
+}
+
+// Run executes the job over the input splits on the cluster. Each split is
+// one map task. The error is non-nil only for configuration problems; user
+// code panics propagate.
+func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], splits [][]I) (*Result[O], error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if job.Mapper == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no mapper", job.Name)
+	}
+	if job.Reducer == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no reducer", job.Name)
+	}
+	numReducers := job.NumReducers
+	if numReducers <= 0 {
+		numReducers = c.Slaves
+	}
+
+	start := time.Now()
+	var met Metrics
+	met.Job = job.Name
+	met.MapTasks = len(splits)
+	met.ReduceTasks = numReducers
+
+	// ---- Map phase (with per-task combine) ----
+	type mapCounters struct {
+		in, out, combineIn, combineOut int64
+	}
+	perTask := make([][]mapTaskOutput[K, V], len(splits)) // [task][reducer]
+	taskCounts := make([]mapCounters, len(splits))
+
+	runParallel(len(splits), c.workers(), func(task int) {
+		ctx := newTaskContext(job.Name, "map", task, taskSeed(job.Seed, "map", fmt.Sprint(task)))
+		// Buffer map output per key, preserving key first-seen order for
+		// deterministic combiner invocation order.
+		groups := make(map[K][]V)
+		var keyOrder []K
+		var cnt mapCounters
+		emit := func(k K, v V) {
+			if _, seen := groups[k]; !seen {
+				keyOrder = append(keyOrder, k)
+			}
+			groups[k] = append(groups[k], v)
+			cnt.out++
+		}
+		for i := range splits[task] {
+			cnt.in++
+			job.Mapper.Map(ctx, splits[task][i], emit)
+		}
+
+		buckets := make([]mapTaskOutput[K, V], numReducers)
+		if job.Combiner != nil {
+			// Deterministic combine order: sort keys canonically so the
+			// task RNG consumption is independent of map emission order.
+			sort.Slice(keyOrder, func(i, j int) bool {
+				return job.keyString(keyOrder[i]) < job.keyString(keyOrder[j])
+			})
+			cctx := newTaskContext(job.Name, "combine", task, taskSeed(job.Seed, "combine", fmt.Sprint(task)))
+			for _, k := range keyOrder {
+				vs := groups[k]
+				cnt.combineIn += int64(len(vs))
+				p := job.partition(k, numReducers)
+				job.Combiner.Combine(cctx, k, vs, func(v V) {
+					cnt.combineOut++
+					buckets[p].pairs = append(buckets[p].pairs, Pair[K, V]{k, v})
+				})
+			}
+		} else {
+			for _, k := range keyOrder {
+				p := job.partition(k, numReducers)
+				for _, v := range groups[k] {
+					buckets[p].pairs = append(buckets[p].pairs, Pair[K, V]{k, v})
+				}
+			}
+		}
+		perTask[task] = buckets
+		taskCounts[task] = cnt
+	})
+
+	mapDurations := make([]time.Duration, len(splits))
+	for t, cnt := range taskCounts {
+		met.MapInputRecords += cnt.in
+		met.MapOutputRecords += cnt.out
+		met.CombineInputRecs += cnt.combineIn
+		met.CombineOutputRecs += cnt.combineOut
+		base := c.Cost.TaskOverhead +
+			time.Duration(cnt.in)*c.Cost.MapPerRecord +
+			time.Duration(cnt.combineIn)*c.Cost.CombinePerRecord
+		plan, err := c.Faults.plan("map", t)
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", job.Name, err)
+		}
+		met.MapAttempts += int64(plan.attempts)
+		mapDurations[t] = time.Duration(float64(base) * plan.factor)
+	}
+	met.SimulatedMap = makespan(mapDurations, c.Slots())
+
+	// ---- Shuffle ----
+	// For each reducer, concatenate task buckets in task order, then group
+	// by key. Value order within a key is (task index, emission order):
+	// deterministic. With a Transport installed, buckets travel serialized
+	// (and, for TCPTransport, over real sockets) and ShuffleBytes are wire
+	// bytes; otherwise they are estimated from the in-memory pairs.
+	reducerInput := make([]map[K][]V, numReducers)
+	reducerKeyOrder := make([][]K, numReducers)
+	var shuffleRecords, shuffleBytes int64
+
+	perReducerPairs := make([][][]Pair[K, V], numReducers) // [reducer][task order]
+	if c.NewTransport != nil {
+		transport, err := c.NewTransport()
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", job.Name, err)
+		}
+		defer transport.Close()
+		for t := range perTask {
+			for r := 0; r < numReducers; r++ {
+				payload, err := encodeBucket(perTask[t][r].pairs)
+				if err != nil {
+					return nil, err
+				}
+				n, err := transport.Send(t, r, payload)
+				if err != nil {
+					return nil, fmt.Errorf("job %q: %w", job.Name, err)
+				}
+				shuffleBytes += int64(n)
+			}
+		}
+		for r := 0; r < numReducers; r++ {
+			payloads, err := transport.Receive(r, len(splits))
+			if err != nil {
+				return nil, fmt.Errorf("job %q: %w", job.Name, err)
+			}
+			for _, payload := range payloads {
+				pairs, err := decodeBucket[K, V](payload)
+				if err != nil {
+					return nil, err
+				}
+				perReducerPairs[r] = append(perReducerPairs[r], pairs)
+			}
+		}
+	} else {
+		for r := 0; r < numReducers; r++ {
+			for t := range perTask {
+				pairs := perTask[t][r].pairs
+				perReducerPairs[r] = append(perReducerPairs[r], pairs)
+				for _, p := range pairs {
+					shuffleBytes += int64(approxSize(p.Key) + approxSize(p.Value))
+				}
+			}
+		}
+	}
+	for r := 0; r < numReducers; r++ {
+		groups := make(map[K][]V)
+		var order []K
+		for _, pairs := range perReducerPairs[r] {
+			for _, p := range pairs {
+				if _, seen := groups[p.Key]; !seen {
+					order = append(order, p.Key)
+				}
+				groups[p.Key] = append(groups[p.Key], p.Value)
+				shuffleRecords++
+			}
+		}
+		// Deterministic reduce order within the reducer.
+		sort.Slice(order, func(i, j int) bool {
+			return job.keyString(order[i]) < job.keyString(order[j])
+		})
+		reducerInput[r] = groups
+		reducerKeyOrder[r] = order
+	}
+	met.ShuffleRecords = shuffleRecords
+	met.ShuffleBytes = shuffleBytes
+	met.SimulatedShuffle = time.Duration(shuffleBytes) * c.Cost.ShufflePerByte
+
+	// ---- Reduce phase ----
+	outputs := make([][]O, numReducers)
+	reduceCounts := make([]int64, numReducers)
+	runParallel(numReducers, c.workers(), func(r int) {
+		var out []O
+		var inRecs int64
+		for _, k := range reducerKeyOrder[r] {
+			// Per-key RNG so the reduction of a key is reproducible no
+			// matter which reducer task it lands on.
+			ctx := newTaskContext(job.Name, "reduce", r, taskSeed(job.Seed, "reduce", job.keyString(k)))
+			vs := reducerInput[r][k]
+			inRecs += int64(len(vs))
+			job.Reducer.Reduce(ctx, k, vs, func(o O) { out = append(out, o) })
+		}
+		outputs[r] = out
+		reduceCounts[r] = inRecs
+	})
+
+	reduceDurations := make([]time.Duration, numReducers)
+	var final []O
+	for r := 0; r < numReducers; r++ {
+		met.ReduceInputGroups += int64(len(reducerKeyOrder[r]))
+		met.ReduceInputRecs += reduceCounts[r]
+		met.OutputRecords += int64(len(outputs[r]))
+		base := c.Cost.TaskOverhead + time.Duration(reduceCounts[r])*c.Cost.ReducePerRecord
+		plan, err := c.Faults.plan("reduce", r)
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", job.Name, err)
+		}
+		met.ReduceAttempts += int64(plan.attempts)
+		reduceDurations[r] = time.Duration(float64(base) * plan.factor)
+		final = append(final, outputs[r]...)
+	}
+	met.SimulatedReduce = makespan(reduceDurations, c.Slots())
+	met.WallTime = time.Since(start)
+
+	return &Result[O]{Output: final, Metrics: met}, nil
+}
+
+// runParallel runs fn(0..n-1) on at most `workers` goroutines and waits.
+func runParallel(n, workers int, fn func(int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,69 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// FaultModel injects task-level failures and stragglers into the virtual
+// cluster, following the MapReduce fault-tolerance model (Dean & Ghemawat):
+// tasks are deterministic, so a failed attempt is simply re-executed and
+// produces the same output — failures cost time, never correctness. The
+// engine runs each task's user code once and charges the virtual clock for
+// every attempt.
+type FaultModel struct {
+	// TaskFailureProb is the probability that one task attempt fails
+	// (crashes, machine loss) and must be re-executed.
+	TaskFailureProb float64
+	// MaxAttempts is how many attempts a task gets before the whole job
+	// aborts, as in Hadoop (default 4).
+	MaxAttempts int
+	// StragglerStdDev is the standard deviation of a lognormal slowdown
+	// factor applied to each attempt's duration (0 = no stragglers).
+	StragglerStdDev float64
+	// Seed makes the injected faults reproducible.
+	Seed int64
+}
+
+func (f *FaultModel) maxAttempts() int {
+	if f.MaxAttempts <= 0 {
+		return 4
+	}
+	return f.MaxAttempts
+}
+
+// attemptPlan describes what the virtual clock should charge for one task:
+// the number of attempts made and the duration multiplier (sum over attempts
+// of their slowdown factors; failed attempts are assumed to run to the point
+// of failure, charged as full attempts).
+type attemptPlan struct {
+	attempts int
+	factor   float64
+}
+
+// plan rolls the fate of one task deterministically from the fault seed and
+// the task identity. It returns an error when the task exhausts its attempts.
+func (f *FaultModel) plan(phase string, task int) (attemptPlan, error) {
+	if f == nil {
+		return attemptPlan{attempts: 1, factor: 1}, nil
+	}
+	rng := rand.New(rand.NewSource(taskSeed(f.Seed, "fault/"+phase, fmt.Sprint(task))))
+	p := attemptPlan{}
+	for p.attempts < f.maxAttempts() {
+		p.attempts++
+		p.factor += f.slowdown(rng)
+		if rng.Float64() >= f.TaskFailureProb {
+			return p, nil // this attempt succeeded
+		}
+	}
+	return p, fmt.Errorf("mapreduce: %s task %d failed %d attempts", phase, task, p.attempts)
+}
+
+func (f *FaultModel) slowdown(rng *rand.Rand) float64 {
+	if f.StragglerStdDev <= 0 {
+		return 1
+	}
+	// Lognormal with median 1: exp(sigma * z).
+	return math.Exp(f.StragglerStdDev * rng.NormFloat64())
+}

@@ -1,0 +1,113 @@
+package mapreduce
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func faultCluster(f *FaultModel) *Cluster {
+	c := NewCluster(4)
+	c.Faults = f
+	return c
+}
+
+// TestFaultsDoNotChangeOutput: deterministic re-execution means injected
+// failures cost time, never correctness.
+func TestFaultsDoNotChangeOutput(t *testing.T) {
+	clean, err := Run(NewCluster(4), wordCountJob(7, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Run(faultCluster(&FaultModel{TaskFailureProb: 0.4, Seed: 1}), wordCountJob(7, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedWC(clean.Output), sortedWC(faulty.Output)) {
+		t.Fatal("fault injection changed job output")
+	}
+	if faulty.Metrics.MapAttempts < int64(faulty.Metrics.MapTasks) {
+		t.Fatalf("attempts %d below task count %d", faulty.Metrics.MapAttempts, faulty.Metrics.MapTasks)
+	}
+}
+
+func TestFaultsChargeVirtualTime(t *testing.T) {
+	// Big enough workload that retries dominate the comparison; high
+	// failure probability guarantees extra attempts.
+	splits := make([][]string, 12)
+	for i := range splits {
+		lines := make([]string, 200)
+		for j := range lines {
+			lines[j] = "a b c"
+		}
+		splits[i] = lines
+	}
+	clean, err := Run(NewCluster(4), wordCountJob(7, true), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Run(faultCluster(&FaultModel{TaskFailureProb: 0.3, MaxAttempts: 8, Seed: 3}), wordCountJob(7, true), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Metrics.MapAttempts <= int64(faulty.Metrics.MapTasks) {
+		t.Fatalf("expected retries, attempts %d for %d tasks", faulty.Metrics.MapAttempts, faulty.Metrics.MapTasks)
+	}
+	if faulty.Metrics.SimulatedMap <= clean.Metrics.SimulatedMap {
+		t.Fatalf("failures did not slow the virtual clock: %v vs %v",
+			faulty.Metrics.SimulatedMap, clean.Metrics.SimulatedMap)
+	}
+}
+
+func TestFaultsAbortAfterMaxAttempts(t *testing.T) {
+	c := faultCluster(&FaultModel{TaskFailureProb: 1, MaxAttempts: 3, Seed: 1})
+	_, err := Run(c, wordCountJob(1, false), wcSplits)
+	if err == nil || !strings.Contains(err.Error(), "failed 3 attempts") {
+		t.Fatalf("want max-attempts error, got %v", err)
+	}
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	f := &FaultModel{TaskFailureProb: 0.3, StragglerStdDev: 0.5, Seed: 9}
+	a, err := Run(faultCluster(f), wordCountJob(2, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(faultCluster(f), wordCountJob(2, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.MapAttempts != b.Metrics.MapAttempts ||
+		a.Metrics.SimulatedMap != b.Metrics.SimulatedMap {
+		t.Fatal("fault injection not reproducible")
+	}
+}
+
+func TestStragglersStretchMakespan(t *testing.T) {
+	splits := make([][]string, 20)
+	for i := range splits {
+		splits[i] = []string{"x y z", "x"}
+	}
+	clean, err := Run(NewCluster(4), wordCountJob(5, true), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(faultCluster(&FaultModel{StragglerStdDev: 1.5, Seed: 2}), wordCountJob(5, true), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Metrics.MapAttempts != int64(slow.Metrics.MapTasks) {
+		t.Fatal("stragglers alone must not add attempts")
+	}
+	if slow.Metrics.SimulatedMap == clean.Metrics.SimulatedMap {
+		t.Fatal("straggler factors had no effect on the makespan")
+	}
+}
+
+func TestNilFaultModelIsNoop(t *testing.T) {
+	var f *FaultModel
+	plan, err := f.plan("map", 0)
+	if err != nil || plan.attempts != 1 || plan.factor != 1 {
+		t.Fatalf("nil model plan = %+v, %v", plan, err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package mapreduce implements an in-process MapReduce engine with the
+// semantics the paper's algorithms rely on: a map phase over input splits,
+// an optional per-map-task combiner, a hash-partitioned shuffle with byte
+// accounting, and a reduce phase. Tasks run concurrently on goroutines.
+//
+// Because the original evaluation ran on a Hadoop cluster whose wall-clock
+// behaviour we cannot reproduce on one machine, the engine additionally keeps
+// a *virtual clock*: a configurable cost model assigns each task a simulated
+// duration from its measured record and byte counts, and a scheduler computes
+// the makespan over the cluster's map/reduce slots. Counters (records,
+// groups, shuffled bytes) are always measured, never modelled.
+//
+// Determinism: every map task and every reduce key gets its own random
+// source, seeded from the job seed and the task index or key string, so a
+// job's output is reproducible regardless of goroutine interleaving.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Pair is a key-value pair.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Mapper transforms one input record into zero or more key-value pairs.
+type Mapper[I any, K comparable, V any] interface {
+	Map(ctx *TaskContext, in I, emit func(K, V))
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc[I any, K comparable, V any] func(ctx *TaskContext, in I, emit func(K, V))
+
+// Map calls the function.
+func (f MapperFunc[I, K, V]) Map(ctx *TaskContext, in I, emit func(K, V)) { f(ctx, in, emit) }
+
+// Combiner performs a partial, per-map-task aggregation of the values of one
+// key before they are shuffled, as in Hadoop: its output value type equals
+// its input value type.
+type Combiner[K comparable, V any] interface {
+	Combine(ctx *TaskContext, key K, values []V, emit func(V))
+}
+
+// CombinerFunc adapts a function to the Combiner interface.
+type CombinerFunc[K comparable, V any] func(ctx *TaskContext, key K, values []V, emit func(V))
+
+// Combine calls the function.
+func (f CombinerFunc[K, V]) Combine(ctx *TaskContext, key K, values []V, emit func(V)) {
+	f(ctx, key, values, emit)
+}
+
+// Reducer merges all values of one key into zero or more output records.
+type Reducer[K comparable, V any, O any] interface {
+	Reduce(ctx *TaskContext, key K, values []V, emit func(O))
+}
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc[K comparable, V any, O any] func(ctx *TaskContext, key K, values []V, emit func(O))
+
+// Reduce calls the function.
+func (f ReducerFunc[K, V, O]) Reduce(ctx *TaskContext, key K, values []V, emit func(O)) {
+	f(ctx, key, values, emit)
+}
+
+// Job describes one MapReduce program. Mapper and Reducer are required;
+// Combiner, Partition, KeyString and NumReducers have sensible defaults.
+type Job[I any, K comparable, V any, O any] struct {
+	// Name labels the job in metrics and errors.
+	Name string
+	// Mapper processes each input record of each split.
+	Mapper Mapper[I, K, V]
+	// Combiner, when non-nil, aggregates map output per task before the
+	// shuffle.
+	Combiner Combiner[K, V]
+	// Reducer merges the values of each key.
+	Reducer Reducer[K, V, O]
+	// NumReducers is the number of reduce tasks (default: the cluster's
+	// slave count, at least 1).
+	NumReducers int
+	// Partition routes a key to one of n reducers (default: FNV hash of
+	// KeyString).
+	Partition func(key K, n int) int
+	// KeyString renders a key canonically; it drives default partitioning,
+	// deterministic reduce ordering and per-key RNG seeding (default:
+	// fmt.Sprint).
+	KeyString func(K) string
+	// Seed makes the job's task RNGs — and hence its output — reproducible.
+	Seed int64
+}
+
+func (j *Job[I, K, V, O]) keyString(k K) string {
+	if j.KeyString != nil {
+		return j.KeyString(k)
+	}
+	return fmt.Sprint(k)
+}
+
+func (j *Job[I, K, V, O]) partition(k K, n int) int {
+	if j.Partition != nil {
+		p := j.Partition(k, n)
+		if p < 0 || p >= n {
+			panic(fmt.Sprintf("mapreduce: job %q partitioner returned %d for %d reducers", j.Name, p, n))
+		}
+		return p
+	}
+	h := fnv.New32a()
+	h.Write([]byte(j.keyString(k)))
+	return int(h.Sum32() % uint32(n))
+}
+
+// TaskContext carries per-task state into user map, combine and reduce code:
+// a deterministic random source and the task's identity.
+type TaskContext struct {
+	// Rand is the task's private random source; user code must use it
+	// (not the global rand) so jobs are reproducible.
+	Rand *rand.Rand
+	// JobName is the name of the running job.
+	JobName string
+	// Phase is "map", "combine" or "reduce".
+	Phase string
+	// Task is the map-task index, or the reduce-task index.
+	Task int
+}
+
+// taskSeed derives a deterministic per-task seed.
+func taskSeed(jobSeed int64, phase string, id string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s/%s", jobSeed, phase, id)
+	return int64(h.Sum64())
+}
+
+func newTaskContext(jobName, phase string, task int, seed int64) *TaskContext {
+	return &TaskContext{
+		Rand:    rand.New(rand.NewSource(seed)),
+		JobName: jobName,
+		Phase:   phase,
+		Task:    task,
+	}
+}

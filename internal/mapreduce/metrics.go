@@ -1,0 +1,96 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+)
+
+// Metrics reports what a job did. Record and byte counters are measured;
+// the *Simulated* durations come from the cluster's cost model and virtual
+// scheduler.
+type Metrics struct {
+	Job string
+
+	MapTasks          int
+	MapInputRecords   int64
+	MapOutputRecords  int64
+	CombineInputRecs  int64
+	CombineOutputRecs int64
+	ShuffleRecords    int64
+	ShuffleBytes      int64
+	ReduceTasks       int
+	ReduceInputGroups int64
+	ReduceInputRecs   int64
+	OutputRecords     int64
+
+	// MapAttempts and ReduceAttempts count task attempts including the
+	// re-executions injected by the cluster's FaultModel; without faults
+	// they equal MapTasks and ReduceTasks.
+	MapAttempts    int64
+	ReduceAttempts int64
+
+	// SimulatedMap includes per-task map and combine work scheduled over
+	// the cluster's slots; SimulatedShuffle models the network transfer;
+	// SimulatedReduce the reduce wave.
+	SimulatedMap     time.Duration
+	SimulatedShuffle time.Duration
+	SimulatedReduce  time.Duration
+
+	// WallTime is the real elapsed time of the in-process run.
+	WallTime time.Duration
+}
+
+// SimulatedTotal is the job's virtual makespan.
+func (m Metrics) SimulatedTotal() time.Duration {
+	return m.SimulatedMap + m.SimulatedShuffle + m.SimulatedReduce
+}
+
+// Add accumulates another job's metrics (used when an algorithm runs a
+// pipeline of jobs).
+func (m *Metrics) Add(o Metrics) {
+	m.MapTasks += o.MapTasks
+	m.MapInputRecords += o.MapInputRecords
+	m.MapOutputRecords += o.MapOutputRecords
+	m.CombineInputRecs += o.CombineInputRecs
+	m.CombineOutputRecs += o.CombineOutputRecs
+	m.ShuffleRecords += o.ShuffleRecords
+	m.ShuffleBytes += o.ShuffleBytes
+	m.ReduceTasks += o.ReduceTasks
+	m.ReduceInputGroups += o.ReduceInputGroups
+	m.ReduceInputRecs += o.ReduceInputRecs
+	m.OutputRecords += o.OutputRecords
+	m.MapAttempts += o.MapAttempts
+	m.ReduceAttempts += o.ReduceAttempts
+	m.SimulatedMap += o.SimulatedMap
+	m.SimulatedShuffle += o.SimulatedShuffle
+	m.SimulatedReduce += o.SimulatedReduce
+	m.WallTime += o.WallTime
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s: map %d recs -> %d pairs, shuffle %d recs/%dB, reduce %d groups -> %d out, sim %v",
+		m.Job, m.MapInputRecords, m.MapOutputRecords, m.ShuffleRecords, m.ShuffleBytes,
+		m.ReduceInputGroups, m.OutputRecords, m.SimulatedTotal().Round(time.Millisecond))
+}
+
+// approxSize estimates the wire size of a shuffled key or value. Types can
+// take control by implementing interface{ ByteSize() int }.
+func approxSize(v any) int {
+	switch x := v.(type) {
+	case interface{ ByteSize() int }:
+		return x.ByteSize()
+	case string:
+		return len(x)
+	case int, int64, uint64, float64:
+		return 8
+	case int32, uint32, float32:
+		return 4
+	case bool, int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	default:
+		return 8
+	}
+}

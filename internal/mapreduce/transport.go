@@ -1,0 +1,243 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Transport moves serialized shuffle buckets from map tasks to reducers. The
+// default engine keeps buckets in memory; installing a transport on the
+// cluster makes the shuffle pass through real serialization (gob) and —
+// with TCPTransport — a real network stack, so shuffle byte counts are
+// measured on the wire instead of estimated.
+//
+// The engine sends exactly one payload per (map task, reducer) pair,
+// including empty ones, and receives them back grouped by reducer, ordered
+// by map task. Implementations must be safe for concurrent Send calls.
+type Transport interface {
+	// Send ships one map task's bucket for one reducer and returns the
+	// number of bytes moved.
+	Send(task, reducer int, payload []byte) (int, error)
+	// Receive returns the payloads destined for a reducer, ordered by map
+	// task, once all expected sends completed. expect is the number of
+	// map tasks.
+	Receive(reducer, expect int) ([][]byte, error)
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// memTransport is a trivial in-process Transport used for testing the
+// transport path without sockets.
+type memTransport struct {
+	mu      sync.Mutex
+	buckets map[int]map[int][]byte // reducer → task → payload
+}
+
+// NewMemTransport returns an in-memory Transport. Its purpose is exercising
+// the engine's serialization path deterministically; TCPTransport is the
+// interesting implementation.
+func NewMemTransport() Transport {
+	return &memTransport{buckets: make(map[int]map[int][]byte)}
+}
+
+func (m *memTransport) Send(task, reducer int, payload []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.buckets[reducer] == nil {
+		m.buckets[reducer] = make(map[int][]byte)
+	}
+	m.buckets[reducer][task] = payload
+	return len(payload), nil
+}
+
+func (m *memTransport) Receive(reducer, expect int) ([][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	got := m.buckets[reducer]
+	if len(got) != expect {
+		return nil, fmt.Errorf("mapreduce: reducer %d received %d buckets, want %d", reducer, len(got), expect)
+	}
+	tasks := make([]int, 0, len(got))
+	for t := range got {
+		tasks = append(tasks, t)
+	}
+	sort.Ints(tasks)
+	out := make([][]byte, 0, len(tasks))
+	for _, t := range tasks {
+		out = append(out, got[t])
+	}
+	return out, nil
+}
+
+func (m *memTransport) Close() error { return nil }
+
+// TCPTransport ships shuffle buckets over loopback TCP connections with
+// length-prefixed frames, like a real cluster's shuffle fetch. Bytes
+// reported by Send are actual wire bytes (header + payload).
+type TCPTransport struct {
+	listener net.Listener
+	addr     string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buckets map[int]map[int][]byte
+	err     error
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+}
+
+// NewTCPTransport starts a loopback listener and the receiver loop.
+func NewTCPTransport() (*TCPTransport, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: starting shuffle listener: %w", err)
+	}
+	t := &TCPTransport{
+		listener: l,
+		addr:     l.Addr().String(),
+		buckets:  make(map[int]map[int][]byte),
+		closing:  make(chan struct{}),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener address (for tests).
+func (t *TCPTransport) Addr() string { return t.addr }
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			select {
+			case <-t.closing:
+				return
+			default:
+				t.fail(err)
+				return
+			}
+		}
+		t.wg.Add(1)
+		go t.serve(conn)
+	}
+}
+
+// frame header: task (int32), reducer (int32), payload length (int32).
+const frameHeaderSize = 12
+
+func (t *TCPTransport) serve(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	header := make([]byte, frameHeaderSize)
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			if err != io.EOF {
+				t.fail(err)
+			}
+			return
+		}
+		task := int(int32(binary.BigEndian.Uint32(header[0:])))
+		reducer := int(int32(binary.BigEndian.Uint32(header[4:])))
+		size := int(int32(binary.BigEndian.Uint32(header[8:])))
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			t.fail(err)
+			return
+		}
+		t.mu.Lock()
+		if t.buckets[reducer] == nil {
+			t.buckets[reducer] = make(map[int][]byte)
+		}
+		t.buckets[reducer][task] = payload
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}
+}
+
+func (t *TCPTransport) fail(err error) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// Send dials the shuffle listener and writes one frame. Connections are
+// per-call, mirroring shuffle fetches; payload sizes dominate, so connection
+// reuse is not worth the complexity here.
+func (t *TCPTransport) Send(task, reducer int, payload []byte) (int, error) {
+	conn, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return 0, fmt.Errorf("mapreduce: shuffle dial: %w", err)
+	}
+	defer conn.Close()
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(frame[0:], uint32(task))
+	binary.BigEndian.PutUint32(frame[4:], uint32(reducer))
+	binary.BigEndian.PutUint32(frame[8:], uint32(len(payload)))
+	copy(frame[frameHeaderSize:], payload)
+	if _, err := conn.Write(frame); err != nil {
+		return 0, fmt.Errorf("mapreduce: shuffle write: %w", err)
+	}
+	return len(frame), nil
+}
+
+// Receive blocks until all map tasks' buckets for the reducer arrived.
+func (t *TCPTransport) Receive(reducer, expect int) ([][]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.err == nil && len(t.buckets[reducer]) < expect {
+		t.cond.Wait()
+	}
+	if t.err != nil {
+		return nil, t.err
+	}
+	got := t.buckets[reducer]
+	tasks := make([]int, 0, len(got))
+	for task := range got {
+		tasks = append(tasks, task)
+	}
+	sort.Ints(tasks)
+	out := make([][]byte, 0, len(tasks))
+	for _, task := range tasks {
+		out = append(out, got[task])
+	}
+	return out, nil
+}
+
+// Close stops the listener and waits for the receiver loops.
+func (t *TCPTransport) Close() error {
+	close(t.closing)
+	err := t.listener.Close()
+	t.wg.Wait()
+	return err
+}
+
+// encodeBucket gob-encodes one map task's pairs for the wire.
+func encodeBucket[K comparable, V any](pairs []Pair[K, V]) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pairs); err != nil {
+		return nil, fmt.Errorf("mapreduce: encoding shuffle bucket: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeBucket reverses encodeBucket.
+func decodeBucket[K comparable, V any](payload []byte) ([]Pair[K, V], error) {
+	var pairs []Pair[K, V]
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&pairs); err != nil {
+		return nil, fmt.Errorf("mapreduce: decoding shuffle bucket: %w", err)
+	}
+	return pairs, nil
+}

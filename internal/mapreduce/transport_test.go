@@ -1,0 +1,121 @@
+package mapreduce
+
+import (
+	"reflect"
+	"testing"
+)
+
+func withTransport(mk func() (Transport, error)) *Cluster {
+	c := NewCluster(3)
+	c.NewTransport = mk
+	return c
+}
+
+func TestMemTransportShuffleMatchesInMemory(t *testing.T) {
+	plain, err := Run(NewCluster(3), wordCountJob(4, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMem, err := Run(withTransport(func() (Transport, error) { return NewMemTransport(), nil }),
+		wordCountJob(4, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedWC(plain.Output), sortedWC(viaMem.Output)) {
+		t.Fatal("serialized shuffle changed the output")
+	}
+	if viaMem.Metrics.ShuffleRecords != plain.Metrics.ShuffleRecords {
+		t.Fatalf("record counts differ: %d vs %d",
+			viaMem.Metrics.ShuffleRecords, plain.Metrics.ShuffleRecords)
+	}
+	if viaMem.Metrics.ShuffleBytes == 0 {
+		t.Fatal("serialized shuffle reported zero bytes")
+	}
+}
+
+func TestTCPTransportShuffle(t *testing.T) {
+	cluster := withTransport(func() (Transport, error) { return NewTCPTransport() })
+	res, err := Run(cluster, wordCountJob(4, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(NewCluster(3), wordCountJob(4, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedWC(plain.Output), sortedWC(res.Output)) {
+		t.Fatal("TCP shuffle changed the output")
+	}
+	// Wire bytes include frame headers for every (task, reducer) pair.
+	minBytes := int64(res.Metrics.MapTasks*res.Metrics.ReduceTasks) * frameHeaderSize
+	if res.Metrics.ShuffleBytes < minBytes {
+		t.Fatalf("wire bytes %d below frame-header floor %d", res.Metrics.ShuffleBytes, minBytes)
+	}
+}
+
+func TestTCPTransportDirect(t *testing.T) {
+	tr, err := NewTCPTransport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	payloads := map[int][]byte{0: []byte("task0"), 1: []byte("task-one"), 2: nil}
+	for task, p := range payloads {
+		n, err := tr.Send(task, 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != frameHeaderSize+len(p) {
+			t.Fatalf("Send reported %d bytes for %d-byte payload", n, len(p))
+		}
+	}
+	got, err := tr.Receive(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("received %d buckets", len(got))
+	}
+	if string(got[0]) != "task0" || string(got[1]) != "task-one" || len(got[2]) != 0 {
+		t.Fatalf("buckets out of task order: %q", got)
+	}
+}
+
+func TestMemTransportRejectsShortfall(t *testing.T) {
+	tr := NewMemTransport()
+	if _, err := tr.Send(0, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Receive(1, 2); err == nil {
+		t.Fatal("want shortfall error")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeBucket(t *testing.T) {
+	pairs := []Pair[string, int64]{{"a", 1}, {"b", 2}}
+	payload, err := encodeBucket(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeBucket[string, int64](payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pairs, back) {
+		t.Fatalf("round trip %v", back)
+	}
+	if _, err := decodeBucket[string, int64]([]byte("garbage")); err == nil {
+		t.Fatal("want decode error")
+	}
+	empty, err := encodeBucket[string, int64](nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backEmpty, err := decodeBucket[string, int64](empty)
+	if err != nil || len(backEmpty) != 0 {
+		t.Fatalf("empty round trip: %v, %v", backEmpty, err)
+	}
+}

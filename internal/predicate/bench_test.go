@@ -1,0 +1,50 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func BenchmarkParse(b *testing.B) {
+	const src = "(nop >= 100 and cc < 50) or not (fy > 2000 or ayp = 3)"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledEval(b *testing.B) {
+	schema := dataset.MustSchema(
+		dataset.Field{Name: "a", Min: 0, Max: 1000},
+		dataset.Field{Name: "b", Min: 0, Max: 1000},
+	)
+	pred := MustCompile(MustParse("(a >= 100 and a < 500) or (b > 900 and a != 7)"), schema)
+	rng := rand.New(rand.NewSource(1))
+	tuples := make([]dataset.Tuple, 1024)
+	for i := range tuples {
+		tuples[i] = dataset.Tuple{Attrs: []int64{rng.Int63n(1001), rng.Int63n(1001)}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred(&tuples[i%len(tuples)])
+	}
+}
+
+func BenchmarkDisjoint(b *testing.B) {
+	schema := dataset.MustSchema(
+		dataset.Field{Name: "a", Min: 0, Max: 1000},
+		dataset.Field{Name: "b", Min: 0, Max: 1000},
+	)
+	p := MustParse("(a >= 100 and a < 500) or (b > 900)")
+	q := MustParse("(a >= 500 and b <= 900) or (a < 100 and b <= 900)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Disjoint(p, q, schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

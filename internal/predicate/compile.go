@@ -1,0 +1,114 @@
+package predicate
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Pred is a compiled formula: a fast predicate over tuples of a particular
+// schema. Attribute names have been resolved to positions.
+type Pred func(*dataset.Tuple) bool
+
+// Compile resolves the formula's attribute names against the schema and
+// returns a closure-tree evaluator. It returns an error for references to
+// unknown attributes.
+func Compile(e Expr, schema *dataset.Schema) (Pred, error) {
+	switch x := e.(type) {
+	case Literal:
+		v := bool(x)
+		return func(*dataset.Tuple) bool { return v }, nil
+	case Compare:
+		idx, ok := schema.Index(x.Attr)
+		if !ok {
+			return nil, fmt.Errorf("predicate: unknown attribute %q", x.Attr)
+		}
+		op, val := x.Op, x.Value
+		switch op {
+		case Lt:
+			return func(t *dataset.Tuple) bool { return t.Attrs[idx] < val }, nil
+		case Le:
+			return func(t *dataset.Tuple) bool { return t.Attrs[idx] <= val }, nil
+		case Gt:
+			return func(t *dataset.Tuple) bool { return t.Attrs[idx] > val }, nil
+		case Ge:
+			return func(t *dataset.Tuple) bool { return t.Attrs[idx] >= val }, nil
+		case Eq:
+			return func(t *dataset.Tuple) bool { return t.Attrs[idx] == val }, nil
+		case Ne:
+			return func(t *dataset.Tuple) bool { return t.Attrs[idx] != val }, nil
+		default:
+			return nil, fmt.Errorf("predicate: bad operator %v", op)
+		}
+	case And:
+		l, err := Compile(x.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(x.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(t *dataset.Tuple) bool { return l(t) && r(t) }, nil
+	case Or:
+		l, err := Compile(x.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(x.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(t *dataset.Tuple) bool { return l(t) || r(t) }, nil
+	case Not:
+		inner, err := Compile(x.X, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(t *dataset.Tuple) bool { return !inner(t) }, nil
+	default:
+		return nil, fmt.Errorf("predicate: unknown expression type %T", e)
+	}
+}
+
+// MustCompile is like Compile but panics on error.
+func MustCompile(e Expr, schema *dataset.Schema) Pred {
+	p, err := Compile(e, schema)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Eval interprets the formula directly on a tuple, resolving names through
+// the schema on every visit. Compile is faster for repeated evaluation; Eval
+// is convenient for one-off checks and as a test oracle for Compile.
+func Eval(e Expr, schema *dataset.Schema, t *dataset.Tuple) (bool, error) {
+	switch x := e.(type) {
+	case Literal:
+		return bool(x), nil
+	case Compare:
+		idx, ok := schema.Index(x.Attr)
+		if !ok {
+			return false, fmt.Errorf("predicate: unknown attribute %q", x.Attr)
+		}
+		return x.Op.Holds(t.Attrs[idx], x.Value), nil
+	case And:
+		l, err := Eval(x.L, schema, t)
+		if err != nil || !l {
+			return false, err
+		}
+		return Eval(x.R, schema, t)
+	case Or:
+		l, err := Eval(x.L, schema, t)
+		if err != nil || l {
+			return l, err
+		}
+		return Eval(x.R, schema, t)
+	case Not:
+		v, err := Eval(x.X, schema, t)
+		return !v, err
+	default:
+		return false, fmt.Errorf("predicate: unknown expression type %T", e)
+	}
+}

@@ -1,0 +1,122 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func predSchema() *dataset.Schema {
+	return dataset.MustSchema(
+		dataset.Field{Name: "a", Min: 0, Max: 100},
+		dataset.Field{Name: "b", Min: -50, Max: 50},
+		dataset.Field{Name: "c", Min: 0, Max: 10},
+	)
+}
+
+func TestCompileMatchesEval(t *testing.T) {
+	schema := predSchema()
+	exprs := []string{
+		"a < 50",
+		"b >= 0 and c = 5",
+		"not (a > 10 or b < -10)",
+		"a != 7 or (b <= 3 and not c > 2)",
+		"true",
+		"false",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, src := range exprs {
+		e := MustParse(src)
+		pred, err := Compile(e, schema)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", src, err)
+		}
+		for i := 0; i < 200; i++ {
+			tp := dataset.Tuple{Attrs: []int64{rng.Int63n(101), rng.Int63n(101) - 50, rng.Int63n(11)}}
+			want, err := Eval(e, schema, &tp)
+			if err != nil {
+				t.Fatalf("Eval(%q): %v", src, err)
+			}
+			if got := pred(&tp); got != want {
+				t.Fatalf("Compile/Eval disagree on %q for %v: %v vs %v", src, tp.Attrs, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileUnknownAttr(t *testing.T) {
+	schema := predSchema()
+	if _, err := Compile(MustParse("zzz < 3"), schema); err == nil {
+		t.Fatal("want error for unknown attribute")
+	}
+	if _, err := Eval(MustParse("zzz < 3"), schema, &dataset.Tuple{Attrs: []int64{0, 0, 0}}); err == nil {
+		t.Fatal("Eval: want error for unknown attribute")
+	}
+}
+
+// randomExpr builds a random formula over attributes a, b, c with the given
+// node budget — the generator for the property-based tests.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		attrs := []string{"a", "b", "c"}
+		ops := []Op{Lt, Le, Gt, Ge, Eq, Ne}
+		return Compare{
+			Attr:  attrs[rng.Intn(len(attrs))],
+			Op:    ops[rng.Intn(len(ops))],
+			Value: rng.Int63n(120) - 55,
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}
+	case 1:
+		return Or{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}
+	default:
+		return Not{randomExpr(rng, depth-1)}
+	}
+}
+
+func randomTuple(rng *rand.Rand) dataset.Tuple {
+	return dataset.Tuple{Attrs: []int64{rng.Int63n(101), rng.Int63n(101) - 50, rng.Int63n(11)}}
+}
+
+// TestQuickCompileAgreesWithEval is a property test: for random formulas and
+// random tuples, the compiled predicate and the direct evaluator agree.
+func TestQuickCompileAgreesWithEval(t *testing.T) {
+	schema := predSchema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 4)
+		pred, err := Compile(e, schema)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			tp := randomTuple(rng)
+			want, err := Eval(e, schema, &tp)
+			if err != nil || pred(&tp) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParseStringRoundTrip: String() of any random formula re-parses to
+// a structurally equal formula.
+func TestQuickParseStringRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 5)
+		again, err := Parse(e.String())
+		return err == nil && Equal(e, again)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package predicate_test
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/predicate"
+)
+
+// Parse a stratum condition, compile it against a schema, and evaluate it.
+func ExampleParse() {
+	schema := dataset.MustSchema(
+		dataset.Field{Name: "gender", Min: 0, Max: 1},
+		dataset.Field{Name: "yearly_income", Min: 0, Max: 1000000},
+	)
+	// The paper's example stratum: men under 50k or women over 100k.
+	cond := predicate.MustParse(
+		"(gender = 1 and yearly_income < 50000) or (gender = 0 and yearly_income > 100000)")
+	pred := predicate.MustCompile(cond, schema)
+
+	poorMan := dataset.Tuple{Attrs: []int64{1, 30000}}
+	richMan := dataset.Tuple{Attrs: []int64{1, 200000}}
+	fmt.Println(pred(&poorMan), pred(&richMan))
+	// Output:
+	// true false
+}
+
+// Disjoint decides whether two stratum conditions can ever overlap — the
+// validity requirement on SSD queries.
+func ExampleDisjoint() {
+	schema := dataset.MustSchema(dataset.Field{Name: "age", Min: 0, Max: 120})
+	young := predicate.MustParse("age < 30")
+	old := predicate.MustParse("age >= 30")
+	mid := predicate.MustParse("age > 20 and age < 40")
+	d1, _ := predicate.Disjoint(young, old, schema)
+	d2, _ := predicate.Disjoint(young, mid, schema)
+	fmt.Println(d1, d2)
+	// Output:
+	// true false
+}

@@ -1,0 +1,38 @@
+package predicate
+
+import "testing"
+
+// FuzzParse: whatever the input, Parse must never panic, and any formula it
+// accepts must round-trip through String unchanged.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"a < 1",
+		"a >= 3 and b <= 7",
+		"not (x = 1 or y != 2)",
+		"gender = 1 ∧ ¬(income > 100000 ∨ income < 50000)",
+		"true or false",
+		"(((a<1)))",
+		"a < -9223372036854775808",
+		"_x1 <> 42",
+		"a == 5 and b < 6 or not c >= 7",
+		"))((",
+		"and and",
+		"a <",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("String() of accepted input %q does not re-parse: %q: %v", input, e.String(), err)
+		}
+		if !Equal(e, again) {
+			t.Fatalf("round trip changed %q: %q vs %q", input, e, again)
+		}
+	})
+}

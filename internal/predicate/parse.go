@@ -1,0 +1,268 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the textual formula syntax:
+//
+//	expr   := term { ("or" | "∨") term }
+//	term   := factor { ("and" | "∧") factor }
+//	factor := ("not" | "¬" | "!") factor | "(" expr ")" | atom | "true" | "false"
+//	atom   := ident op integer
+//	op     := "<" | "<=" | ">" | ">=" | "=" | "==" | "!=" | "<>"
+//
+// Identifiers are letters, digits and underscores starting with a letter.
+// Keywords are case-insensitive.
+func Parse(input string) (Expr, error) {
+	p := &parser{toks: nil, pos: 0}
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p.toks = toks
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("predicate: trailing input at %q", p.toks[p.pos].text)
+	}
+	return e, nil
+}
+
+// MustParse is like Parse but panics on error; for statically known formulas.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokOp // comparison operator
+	tokLParen
+	tokRParen
+	tokAnd
+	tokOr
+	tokNot
+	tokTrue
+	tokFalse
+)
+
+type token struct {
+	kind tokKind
+	text string
+	op   Op
+	num  int64
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	rs := []rune(input)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{kind: tokLParen, text: "("})
+			i++
+		case r == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")"})
+			i++
+		case r == '∧':
+			toks = append(toks, token{kind: tokAnd, text: "∧"})
+			i++
+		case r == '∨':
+			toks = append(toks, token{kind: tokOr, text: "∨"})
+			i++
+		case r == '¬':
+			toks = append(toks, token{kind: tokNot, text: "¬"})
+			i++
+		case r == '<':
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: "<=", op: Le})
+				i += 2
+			} else if i+1 < len(rs) && rs[i+1] == '>' {
+				toks = append(toks, token{kind: tokOp, text: "<>", op: Ne})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: "<", op: Lt})
+				i++
+			}
+		case r == '>':
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: ">=", op: Ge})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: ">", op: Gt})
+				i++
+			}
+		case r == '=':
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				i += 2
+			} else {
+				i++
+			}
+			toks = append(toks, token{kind: tokOp, text: "=", op: Eq})
+		case r == '!':
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: "!=", op: Ne})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokNot, text: "!"})
+				i++
+			}
+		case r == '-' || unicode.IsDigit(r):
+			j := i + 1
+			for j < len(rs) && unicode.IsDigit(rs[j]) {
+				j++
+			}
+			text := string(rs[i:j])
+			n, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("predicate: bad number %q: %v", text, err)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: n})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i + 1
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			word := string(rs[i:j])
+			switch strings.ToLower(word) {
+			case "and":
+				toks = append(toks, token{kind: tokAnd, text: word})
+			case "or":
+				toks = append(toks, token{kind: tokOr, text: word})
+			case "not":
+				toks = append(toks, token{kind: tokNot, text: word})
+			case "true":
+				toks = append(toks, token{kind: tokTrue, text: word})
+			case "false":
+				toks = append(toks, token{kind: tokFalse, text: word})
+			default:
+				toks = append(toks, token{kind: tokIdent, text: word})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("predicate: unexpected character %q", string(r))
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokOr {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{left, right}
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokAnd {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = And{left, right}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("predicate: unexpected end of input")
+	}
+	switch t.kind {
+	case tokNot:
+		p.pos++
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not{x}, nil
+	case tokLParen:
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		t2, ok := p.peek()
+		if !ok || t2.kind != tokRParen {
+			return nil, fmt.Errorf("predicate: missing closing parenthesis")
+		}
+		p.pos++
+		return e, nil
+	case tokTrue:
+		p.pos++
+		return True, nil
+	case tokFalse:
+		p.pos++
+		return False, nil
+	case tokIdent:
+		return p.parseAtom()
+	default:
+		return nil, fmt.Errorf("predicate: unexpected token %q", t.text)
+	}
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	ident := p.toks[p.pos]
+	p.pos++
+	opTok, ok := p.peek()
+	if !ok || opTok.kind != tokOp {
+		return nil, fmt.Errorf("predicate: expected comparison operator after %q", ident.text)
+	}
+	p.pos++
+	numTok, ok := p.peek()
+	if !ok || numTok.kind != tokNumber {
+		return nil, fmt.Errorf("predicate: expected integer after %q %s", ident.text, opTok.text)
+	}
+	p.pos++
+	return Compare{Attr: ident.text, Op: opTok.op, Value: numTok.num}, nil
+}

@@ -1,0 +1,85 @@
+package query
+
+import "fmt"
+
+// Coster assigns the shared survey cost c_τ to every non-empty index set τ:
+// the cost of surveying one individual assigned to exactly the surveys in τ.
+type Coster interface {
+	Cost(tau Tau) float64
+}
+
+// DefaultCosts is the indifference-to-sharing cost function: c_τ = Σ_{i∈τ} c_i
+// (the paper's default shared cost dc_τ).
+type DefaultCosts struct {
+	// Interview holds the per-survey interview cost c_i.
+	Interview []float64
+}
+
+// Cost returns Σ_{i∈τ} Interview[i].
+func (d DefaultCosts) Cost(tau Tau) float64 {
+	var sum float64
+	for _, i := range tau.Indexes() {
+		sum += d.Interview[i]
+	}
+	return sum
+}
+
+// TableCosts combines explicit shared-cost entries with the default
+// indifference cost for index sets not listed — exactly the paper's
+// semantics for an MSSD's cost set C.
+type TableCosts struct {
+	// Interview holds the per-survey interview cost c_i used for defaults.
+	Interview []float64
+	// Shared holds the explicit entries c_τ ∈ C.
+	Shared map[Tau]float64
+}
+
+// Cost returns the explicit entry when present, else the default dc_τ.
+func (t TableCosts) Cost(tau Tau) float64 {
+	if c, ok := t.Shared[tau]; ok {
+		return c
+	}
+	return DefaultCosts{t.Interview}.Cost(tau)
+}
+
+// PenaltyCosts is the cost structure of the paper's experiments
+// (Section 6.1.2): a flat interview cost, sharing an individual between any
+// set of surveys costs a single interview, and a penalty p_{i,j} is added for
+// every penalised pair {i,j} ⊆ τ. Penalties make undesired sharing not pay
+// off (a $10 penalty exceeds two $4 interviews).
+type PenaltyCosts struct {
+	// Interview is the flat interview cost (the paper uses $4).
+	Interview float64
+	// Penalties maps a 2-element Tau to its penalty p_{i,j}.
+	Penalties map[Tau]float64
+}
+
+// Cost returns Interview + Σ penalties over pairs contained in τ; an empty τ
+// costs 0.
+func (p PenaltyCosts) Cost(tau Tau) float64 {
+	if tau.Empty() {
+		return 0
+	}
+	cost := p.Interview
+	tau.Pairs(func(i, j int) {
+		if pen, ok := p.Penalties[NewTau(i, j)]; ok {
+			cost += pen
+		}
+	})
+	return cost
+}
+
+// ValidatePenalties checks every penalty key is a pair within n queries.
+func (p PenaltyCosts) ValidatePenalties(n int) error {
+	for tau := range p.Penalties {
+		if tau.Size() != 2 {
+			return fmt.Errorf("query: penalty key %v is not a pair", tau)
+		}
+		for _, i := range tau.Indexes() {
+			if i >= n {
+				return fmt.Errorf("query: penalty key %v references query %d of %d", tau, i+1, n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/predicate"
+)
+
+// JSON wire formats, so survey designs can live in files:
+//
+//	{"name": "Q1", "strata": [
+//	    {"cond": "gender = 1 and income < 50000", "freq": 50},
+//	    {"cond": "gender = 0", "freq": 100}]}
+//
+// and an MSSD:
+//
+//	{"queries": [...SSDs...],
+//	 "costs": {"type": "penalty", "interview": 4,
+//	           "penalties": [{"surveys": [1, 2], "penalty": 10}]}}
+//
+// Survey indexes in cost entries are 1-based, matching the paper's notation.
+
+type stratumJSON struct {
+	Cond string `json:"cond"`
+	Freq int    `json:"freq"`
+}
+
+type ssdJSON struct {
+	Name   string        `json:"name"`
+	Strata []stratumJSON `json:"strata"`
+}
+
+// MarshalJSON encodes the SSD with conditions in the textual formula syntax.
+func (q *SSD) MarshalJSON() ([]byte, error) {
+	out := ssdJSON{Name: q.Name, Strata: make([]stratumJSON, len(q.Strata))}
+	for i, s := range q.Strata {
+		out.Strata[i] = stratumJSON{Cond: s.Cond.String(), Freq: s.Freq}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes an SSD, parsing each stratum condition.
+func (q *SSD) UnmarshalJSON(data []byte) error {
+	var in ssdJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	q.Name = in.Name
+	q.Strata = make([]Stratum, len(in.Strata))
+	for i, s := range in.Strata {
+		cond, err := predicate.Parse(s.Cond)
+		if err != nil {
+			return fmt.Errorf("query %s stratum %d: %w", in.Name, i, err)
+		}
+		q.Strata[i] = Stratum{Cond: cond, Freq: s.Freq}
+	}
+	return nil
+}
+
+type penaltyJSON struct {
+	Surveys []int   `json:"surveys"` // 1-based pair
+	Penalty float64 `json:"penalty"`
+}
+
+type sharedJSON struct {
+	Surveys []int   `json:"surveys"` // 1-based index set
+	Cost    float64 `json:"cost"`
+}
+
+type costsJSON struct {
+	Type       string        `json:"type"` // "penalty", "table" or "default"
+	Interview  float64       `json:"interview,omitempty"`
+	Interviews []float64     `json:"interviews,omitempty"`
+	Penalties  []penaltyJSON `json:"penalties,omitempty"`
+	Shared     []sharedJSON  `json:"shared,omitempty"`
+}
+
+type mssdJSON struct {
+	Queries []*SSD     `json:"queries"`
+	Costs   *costsJSON `json:"costs"`
+}
+
+// MarshalJSON encodes the MSSD. Only the exported cost function types
+// (PenaltyCosts, TableCosts, DefaultCosts) can be encoded.
+func (m *MSSD) MarshalJSON() ([]byte, error) {
+	out := mssdJSON{Queries: m.Queries}
+	switch c := m.Costs.(type) {
+	case PenaltyCosts:
+		cj := &costsJSON{Type: "penalty", Interview: c.Interview}
+		keys := make([]Tau, 0, len(c.Penalties))
+		for tau := range c.Penalties {
+			keys = append(keys, tau)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, tau := range keys {
+			cj.Penalties = append(cj.Penalties, penaltyJSON{
+				Surveys: oneBased(tau),
+				Penalty: c.Penalties[tau],
+			})
+		}
+		out.Costs = cj
+	case TableCosts:
+		cj := &costsJSON{Type: "table", Interviews: c.Interview}
+		keys := make([]Tau, 0, len(c.Shared))
+		for tau := range c.Shared {
+			keys = append(keys, tau)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, tau := range keys {
+			cj.Shared = append(cj.Shared, sharedJSON{Surveys: oneBased(tau), Cost: c.Shared[tau]})
+		}
+		out.Costs = cj
+	case DefaultCosts:
+		out.Costs = &costsJSON{Type: "default", Interviews: c.Interview}
+	case nil:
+		out.Costs = nil
+	default:
+		return nil, fmt.Errorf("query: cannot encode cost function of type %T", m.Costs)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the MSSD and reconstructs its cost function.
+func (m *MSSD) UnmarshalJSON(data []byte) error {
+	var in mssdJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	m.Queries = in.Queries
+	m.Costs = nil
+	if in.Costs == nil {
+		return nil
+	}
+	switch in.Costs.Type {
+	case "penalty":
+		pc := PenaltyCosts{Interview: in.Costs.Interview, Penalties: map[Tau]float64{}}
+		for _, p := range in.Costs.Penalties {
+			tau, err := fromOneBased(p.Surveys)
+			if err != nil {
+				return err
+			}
+			pc.Penalties[tau] = p.Penalty
+		}
+		if err := pc.ValidatePenalties(len(m.Queries)); err != nil {
+			return err
+		}
+		m.Costs = pc
+	case "table":
+		tc := TableCosts{Interview: in.Costs.Interviews, Shared: map[Tau]float64{}}
+		for _, s := range in.Costs.Shared {
+			tau, err := fromOneBased(s.Surveys)
+			if err != nil {
+				return err
+			}
+			tc.Shared[tau] = s.Cost
+		}
+		m.Costs = tc
+	case "default":
+		m.Costs = DefaultCosts{Interview: in.Costs.Interviews}
+	default:
+		return fmt.Errorf("query: unknown cost type %q", in.Costs.Type)
+	}
+	return nil
+}
+
+func oneBased(tau Tau) []int {
+	idx := tau.Indexes()
+	for i := range idx {
+		idx[i]++
+	}
+	return idx
+}
+
+func fromOneBased(surveys []int) (Tau, error) {
+	var tau Tau
+	for _, s := range surveys {
+		if s < 1 || s > MaxQueries {
+			return 0, fmt.Errorf("query: survey index %d outside 1..%d", s, MaxQueries)
+		}
+		tau = tau.With(s - 1)
+	}
+	return tau, nil
+}

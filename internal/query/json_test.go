@@ -1,0 +1,122 @@
+package query
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/predicate"
+)
+
+func TestSSDJSONRoundTrip(t *testing.T) {
+	q := NewSSD("Q1",
+		Stratum{Cond: predicate.MustParse("gender = 1 and income < 50000"), Freq: 50},
+		Stratum{Cond: predicate.MustParse("gender = 0 or income > 100000"), Freq: 100},
+	)
+	data, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SSD
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "Q1" || len(back.Strata) != 2 {
+		t.Fatalf("decoded %+v", back)
+	}
+	for i := range q.Strata {
+		if !predicate.Equal(q.Strata[i].Cond, back.Strata[i].Cond) {
+			t.Fatalf("stratum %d cond %q != %q", i, q.Strata[i].Cond, back.Strata[i].Cond)
+		}
+		if q.Strata[i].Freq != back.Strata[i].Freq {
+			t.Fatalf("stratum %d freq differs", i)
+		}
+	}
+}
+
+func TestSSDJSONBadCondition(t *testing.T) {
+	var q SSD
+	err := json.Unmarshal([]byte(`{"name":"x","strata":[{"cond":"((","freq":1}]}`), &q)
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestMSSDJSONPenaltyRoundTrip(t *testing.T) {
+	m := NewMSSD(
+		PenaltyCosts{Interview: 4, Penalties: map[Tau]float64{NewTau(0, 2): 10}},
+		NewSSD("A", Stratum{Cond: predicate.MustParse("a = 1"), Freq: 1}),
+		NewSSD("B", Stratum{Cond: predicate.MustParse("a = 2"), Freq: 1}),
+		NewSSD("C", Stratum{Cond: predicate.MustParse("a = 3"), Freq: 1}),
+	)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"surveys":[1,3]`) {
+		t.Fatalf("penalty pair not 1-based: %s", data)
+	}
+	var back MSSD
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	pc, ok := back.Costs.(PenaltyCosts)
+	if !ok {
+		t.Fatalf("decoded costs %T", back.Costs)
+	}
+	if pc.Penalties[NewTau(0, 2)] != 10 {
+		t.Fatalf("penalties %v", pc.Penalties)
+	}
+	if got := back.Costs.Cost(NewTau(0, 2)); got != 14 {
+		t.Fatalf("cost = %g", got)
+	}
+}
+
+func TestMSSDJSONTableAndDefault(t *testing.T) {
+	m := NewMSSD(
+		TableCosts{Interview: []float64{20, 4}, Shared: map[Tau]float64{NewTau(0, 1): 20}},
+		NewSSD("A", Stratum{Cond: predicate.MustParse("a = 1"), Freq: 1}),
+		NewSSD("B", Stratum{Cond: predicate.MustParse("a = 2"), Freq: 1}),
+	)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MSSD
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Example 4: face-to-face $20, phone $4, shared $20.
+	if back.Costs.Cost(NewTau(0, 1)) != 20 || back.Costs.Cost(NewTau(1)) != 4 {
+		t.Fatal("table costs decoded wrong")
+	}
+
+	d := NewMSSD(DefaultCosts{Interview: []float64{1, 2}},
+		NewSSD("A", Stratum{Cond: predicate.MustParse("a = 1"), Freq: 1}),
+		NewSSD("B", Stratum{Cond: predicate.MustParse("a = 2"), Freq: 1}),
+	)
+	data, err = json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back2 MSSD
+	if err := json.Unmarshal(data, &back2); err != nil {
+		t.Fatal(err)
+	}
+	if back2.Costs.Cost(NewTau(0, 1)) != 3 {
+		t.Fatal("default costs decoded wrong")
+	}
+}
+
+func TestMSSDJSONErrors(t *testing.T) {
+	var m MSSD
+	if err := json.Unmarshal([]byte(`{"queries":[],"costs":{"type":"nope"}}`), &m); err == nil {
+		t.Fatal("want unknown-cost-type error")
+	}
+	if err := json.Unmarshal([]byte(`{"queries":[],"costs":{"type":"penalty","penalties":[{"surveys":[0,1],"penalty":1}]}}`), &m); err == nil {
+		t.Fatal("want 1-based index error")
+	}
+	if err := json.Unmarshal([]byte(`{"queries":[],"costs":{"type":"penalty","penalties":[{"surveys":[1],"penalty":1}]}}`), &m); err == nil {
+		t.Fatal("want non-pair penalty error")
+	}
+}

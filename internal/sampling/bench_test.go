@@ -1,0 +1,53 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkReservoirAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReservoir[int](100, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Add(i)
+	}
+}
+
+func BenchmarkSRS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]int, 10000)
+	for i := range items {
+		items[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SRS(items, 100, rng)
+	}
+}
+
+func BenchmarkSRSIndexes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SRSIndexes(1_000_000, 100, rng)
+	}
+}
+
+func BenchmarkUnifiedSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	parts := make([]Weighted[int], 20)
+	v := 0
+	for p := range parts {
+		sample := make([]int, 50)
+		for i := range sample {
+			sample[i] = v
+			v++
+		}
+		parts[p] = Weighted[int]{Sample: sample, N: int64(1000 + p*100)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnifiedSample(parts, 50, rng)
+	}
+}

@@ -1,0 +1,37 @@
+package sampling_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sampling"
+)
+
+// A reservoir holds a uniform sample of a stream without knowing its length
+// in advance.
+func ExampleReservoir() {
+	rng := rand.New(rand.NewSource(42))
+	r := sampling.NewReservoir[int](3, rng)
+	for i := 0; i < 1000; i++ {
+		r.Add(i)
+	}
+	fmt.Println("seen:", r.Seen(), "sample size:", len(r.Sample()))
+	// Output:
+	// seen: 1000 sample size: 3
+}
+
+// The unified sampler merges per-machine samples of *different-sized* source
+// sets without bias — the key to MR-SQE's correctness.
+func ExampleUnifiedSample() {
+	rng := rand.New(rand.NewSource(7))
+	parts := []sampling.Weighted[string]{
+		{Sample: []string{"a1", "a2"}, N: 4}, // 2 sampled from a set of 4
+		{Sample: []string{"b1", "b2"}, N: 8}, // 2 sampled from a set of 8
+	}
+	final := sampling.UnifiedSample(parts, 2, rng)
+	sort.Strings(final)
+	fmt.Println("final sample size:", len(final))
+	// Output:
+	// final sample size: 2
+}

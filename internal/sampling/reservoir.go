@@ -1,0 +1,67 @@
+// Package sampling provides the random-selection primitives of the paper:
+// Algorithm R reservoir sampling (Vitter 1985), simple random sampling
+// without replacement, weighted intermediate samples (the combiner output of
+// MR-SQE), and the unified-sampler of Algorithm 1, which merges intermediate
+// samples drawn from sets of different sizes into an unbiased final sample.
+package sampling
+
+import "math/rand"
+
+// Reservoir maintains a uniform simple random sample of size at most k over
+// a stream of items, using Algorithm R: the (i+1)-st item replaces a random
+// reservoir slot with probability k/(i+1). At every point of the stream the
+// reservoir holds a simple random sample of the items seen so far.
+type Reservoir[T any] struct {
+	k     int
+	seen  int64
+	items []T
+	rng   *rand.Rand
+}
+
+// NewReservoir creates a reservoir of capacity k drawing randomness from rng.
+// It panics if k is negative or rng is nil.
+func NewReservoir[T any](k int, rng *rand.Rand) *Reservoir[T] {
+	if k < 0 {
+		panic("sampling: negative reservoir capacity")
+	}
+	if rng == nil {
+		panic("sampling: nil rand source")
+	}
+	return &Reservoir[T]{k: k, items: make([]T, 0, k), rng: rng}
+}
+
+// Add offers one stream item to the reservoir.
+func (r *Reservoir[T]) Add(item T) {
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, item)
+		return
+	}
+	if r.k == 0 {
+		return
+	}
+	// Replace a uniformly chosen slot with probability k/seen.
+	j := r.rng.Int63n(r.seen)
+	if j < int64(r.k) {
+		r.items[j] = item
+	}
+}
+
+// Seen returns the number of items offered so far.
+func (r *Reservoir[T]) Seen() int64 { return r.seen }
+
+// Cap returns the reservoir capacity k.
+func (r *Reservoir[T]) Cap() int { return r.k }
+
+// Sample returns the current sample. The returned slice is owned by the
+// reservoir; callers that keep it past further Add calls must copy it.
+func (r *Reservoir[T]) Sample() []T { return r.items }
+
+// TakeSample returns the current sample and detaches it from the reservoir,
+// which is reset to empty.
+func (r *Reservoir[T]) TakeSample() []T {
+	s := r.items
+	r.items = make([]T, 0, r.k)
+	r.seen = 0
+	return s
+}

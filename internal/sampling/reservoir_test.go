@@ -1,0 +1,225 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestReservoirSizeSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReservoir[int](5, rng)
+	for i := 0; i < 3; i++ {
+		r.Add(i)
+	}
+	if len(r.Sample()) != 3 || r.Seen() != 3 {
+		t.Fatalf("after 3 adds: sample %d, seen %d", len(r.Sample()), r.Seen())
+	}
+	for i := 3; i < 100; i++ {
+		r.Add(i)
+	}
+	if len(r.Sample()) != 5 {
+		t.Fatalf("sample size %d, want 5", len(r.Sample()))
+	}
+	if r.Seen() != 100 {
+		t.Fatalf("seen %d, want 100", r.Seen())
+	}
+	seen := map[int]bool{}
+	for _, v := range r.Sample() {
+		if v < 0 || v >= 100 {
+			t.Fatalf("sampled value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("value %d sampled twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestReservoirZeroCapacity(t *testing.T) {
+	r := NewReservoir[int](0, rand.New(rand.NewSource(1)))
+	for i := 0; i < 10; i++ {
+		r.Add(i)
+	}
+	if len(r.Sample()) != 0 {
+		t.Fatal("zero-capacity reservoir must stay empty")
+	}
+}
+
+func TestReservoirPanics(t *testing.T) {
+	mustPanic(t, func() { NewReservoir[int](-1, rand.New(rand.NewSource(1))) })
+	mustPanic(t, func() { NewReservoir[int](1, nil) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+// TestReservoirUniform: over many runs, each of N items appears in the
+// k-sample with frequency k/N; chi-square goodness of fit must not reject.
+func TestReservoirUniform(t *testing.T) {
+	const n, k, runs = 20, 5, 20000
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int64, n)
+	for run := 0; run < runs; run++ {
+		r := NewReservoir[int](k, rng)
+		for i := 0; i < n; i++ {
+			r.Add(i)
+		}
+		for _, v := range r.Sample() {
+			counts[v]++
+		}
+	}
+	p, err := stats.ChiSquareUniformP(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("reservoir inclusion not uniform: p = %g, counts = %v", p, counts)
+	}
+}
+
+func TestReservoirTakeSampleResets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := NewReservoir[int](3, rng)
+	for i := 0; i < 10; i++ {
+		r.Add(i)
+	}
+	s := r.TakeSample()
+	if len(s) != 3 {
+		t.Fatalf("TakeSample returned %d items", len(s))
+	}
+	if r.Seen() != 0 || len(r.Sample()) != 0 {
+		t.Fatal("TakeSample must reset the reservoir")
+	}
+}
+
+func TestSRSSizeAndDistinctness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i
+	}
+	s := SRS(items, 10, rng)
+	if len(s) != 10 {
+		t.Fatalf("SRS returned %d items, want 10", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	// Oversized and degenerate requests.
+	if got := SRS(items, 100, rng); len(got) != 50 {
+		t.Fatalf("oversized SRS returned %d", len(got))
+	}
+	if got := SRS(items, -1, rng); len(got) != 0 {
+		t.Fatalf("negative SRS returned %d", len(got))
+	}
+	// Input must be untouched.
+	for i, v := range items {
+		if v != i {
+			t.Fatal("SRS mutated its input")
+		}
+	}
+}
+
+func TestSRSUniform(t *testing.T) {
+	const n, k, runs = 12, 4, 15000
+	rng := rand.New(rand.NewSource(11))
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	counts := make([]int64, n)
+	for run := 0; run < runs; run++ {
+		for _, v := range SRS(items, k, rng) {
+			counts[v]++
+		}
+	}
+	p, err := stats.ChiSquareUniformP(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("SRS inclusion not uniform: p = %g", p)
+	}
+}
+
+// TestQuickSRSIndexes: indexes are distinct and in range for arbitrary
+// (total, n).
+func TestQuickSRSIndexes(t *testing.T) {
+	f := func(seed int64, totalRaw uint16, nRaw uint8) bool {
+		total := int64(totalRaw%1000) + 1
+		n := int(nRaw) % 50
+		rng := rand.New(rand.NewSource(seed))
+		idx := SRSIndexes(total, n, rng)
+		wantLen := n
+		if int64(n) >= total {
+			wantLen = int(total)
+		}
+		if len(idx) != wantLen {
+			return false
+		}
+		seen := map[int64]bool{}
+		for _, v := range idx {
+			if v < 0 || v >= total || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSRSIndexesUniform(t *testing.T) {
+	const total, n, runs = 15, 5, 15000
+	rng := rand.New(rand.NewSource(13))
+	counts := make([]int64, total)
+	for run := 0; run < runs; run++ {
+		for _, v := range SRSIndexes(total, n, rng) {
+			counts[v]++
+		}
+	}
+	p, err := stats.ChiSquareUniformP(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("SRSIndexes not uniform: p = %g", p)
+	}
+}
+
+func TestDrawWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	items := []int{1, 2, 3, 4, 5}
+	drawn, rest := DrawWithoutReplacement(append([]int(nil), items...), 2, rng)
+	if len(drawn) != 2 || len(rest) != 3 {
+		t.Fatalf("drawn %d rest %d", len(drawn), len(rest))
+	}
+	all := append(append([]int(nil), drawn...), rest...)
+	seen := map[int]bool{}
+	for _, v := range all {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("partition lost items: %v", all)
+	}
+	drawn, rest = DrawWithoutReplacement([]int{1, 2}, 5, rng)
+	if len(drawn) != 2 || rest != nil {
+		t.Fatal("over-draw should return everything")
+	}
+}

@@ -1,0 +1,126 @@
+// Package stats provides the statistical machinery the test suite and the
+// experiment harness use to check that samplers are unbiased: a chi-square
+// goodness-of-fit test (with a regularized incomplete-gamma CDF implemented
+// from scratch), the hypergeometric distribution of Remark 1, and simple
+// moment helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareStat computes the chi-square statistic Σ (obs−exp)²/exp. Expected
+// counts must be positive.
+func ChiSquareStat(observed []int64, expected []float64) (float64, error) {
+	if len(observed) != len(expected) {
+		return 0, fmt.Errorf("stats: %d observed vs %d expected cells", len(observed), len(expected))
+	}
+	var chi2 float64
+	for i := range observed {
+		if expected[i] <= 0 {
+			return 0, fmt.Errorf("stats: non-positive expected count %g in cell %d", expected[i], i)
+		}
+		d := float64(observed[i]) - expected[i]
+		chi2 += d * d / expected[i]
+	}
+	return chi2, nil
+}
+
+// ChiSquareUniformP tests observed counts against a uniform expectation and
+// returns the p-value (probability of a statistic at least as extreme under
+// the null).
+func ChiSquareUniformP(observed []int64) (float64, error) {
+	var total int64
+	for _, o := range observed {
+		total += o
+	}
+	if total == 0 || len(observed) < 2 {
+		return 1, nil
+	}
+	expected := make([]float64, len(observed))
+	for i := range expected {
+		expected[i] = float64(total) / float64(len(observed))
+	}
+	chi2, err := ChiSquareStat(observed, expected)
+	if err != nil {
+		return 0, err
+	}
+	return ChiSquareP(chi2, len(observed)-1), nil
+}
+
+// ChiSquareP returns P(X ≥ chi2) for a chi-square law with df degrees of
+// freedom: the upper regularized incomplete gamma Q(df/2, chi2/2).
+func ChiSquareP(chi2 float64, df int) float64 {
+	if chi2 <= 0 {
+		return 1
+	}
+	return gammaQ(float64(df)/2, chi2/2)
+}
+
+// gammaQ is the upper regularized incomplete gamma function Q(a, x), via the
+// series for x < a+1 and the continued fraction otherwise (Numerical Recipes
+// style, but written from the definitions).
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinued(a, x)
+}
+
+// gammaPSeries computes the lower regularized P(a, x) by its power series.
+func gammaPSeries(a, x float64) float64 {
+	const maxIter = 500
+	const tol = 1e-14
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*tol {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinued computes the upper regularized Q(a, x) by a modified
+// Lentz continued fraction.
+func gammaQContinued(a, x float64) float64 {
+	const maxIter = 500
+	const tol = 1e-14
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < tol {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,90 @@
+package stratified
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/predicate"
+	"repro/internal/query"
+	"repro/internal/sampling"
+)
+
+// QSKey identifies a stratum across the query set: the (Q_i, s_k) mapping key
+// of MR-MQE. Both indexes are 0-based.
+type QSKey struct {
+	Query   int
+	Stratum int
+}
+
+// String renders the key as "Q1/s2" (1-based, like the paper's notation).
+func (k QSKey) String() string { return fmt.Sprintf("Q%d/s%d", k.Query+1, k.Stratum+1) }
+
+// qsOut is one reducer output of MR-MQE: the final sample of one stratum of
+// one query.
+type qsOut struct {
+	Key    QSKey
+	Sample []dataset.Tuple
+}
+
+// RunMQE answers a set of SSD queries in a single MapReduce pass (Algorithm
+// MR-MQE): the mapper emits a ((Q_i, s_k), ({t}, 1)) pair for every query
+// whose stratum the tuple satisfies; combine and reduce are as in MR-SQE.
+// It returns one answer per query, aligned with the queries slice.
+func RunMQE(c *mapreduce.Cluster, queries []*query.SSD, schema *dataset.Schema, splits []dataset.Split, opts Options) (query.MultiAnswer, mapreduce.Metrics, error) {
+	if len(queries) == 0 {
+		return nil, mapreduce.Metrics{}, fmt.Errorf("stratified: no queries")
+	}
+	compiled := make([][]predicate.Pred, len(queries))
+	freqs := make(map[QSKey]int)
+	for qi, q := range queries {
+		ps, err := q.Compile(schema)
+		if err != nil {
+			return nil, mapreduce.Metrics{}, err
+		}
+		compiled[qi] = ps
+		for k, s := range q.Strata {
+			freqs[QSKey{qi, k}] = s.Freq
+		}
+	}
+
+	job := &mapreduce.Job[dataset.Tuple, QSKey, WeightedTuples, qsOut]{
+		Name: "mr-mqe",
+		Seed: opts.Seed,
+		Mapper: mapreduce.MapperFunc[dataset.Tuple, QSKey, WeightedTuples](
+			func(_ *mapreduce.TaskContext, t dataset.Tuple, emit func(QSKey, WeightedTuples)) {
+				if _, skip := opts.Exclude[t.ID]; skip {
+					return
+				}
+				for qi := range compiled {
+					for k, pred := range compiled[qi] {
+						if pred(&t) {
+							emit(QSKey{qi, k}, sampling.Singleton(t))
+							break // strata of one query are disjoint
+						}
+					}
+				}
+			}),
+		Reducer: mapreduce.ReducerFunc[QSKey, WeightedTuples, qsOut](
+			func(ctx *mapreduce.TaskContext, k QSKey, vs []WeightedTuples, emit func(qsOut)) {
+				emit(qsOut{Key: k, Sample: sampling.UnifiedSample(vs, freqs[k], ctx.Rand)})
+			}),
+		KeyString: func(k QSKey) string { return fmt.Sprintf("q%04d/s%06d", k.Query, k.Stratum) },
+	}
+	if !opts.Naive {
+		job.Combiner = combiner(func(k QSKey) int { return freqs[k] })
+	}
+
+	res, err := mapreduce.Run(c, job, tupleSplits(splits))
+	if err != nil {
+		return nil, mapreduce.Metrics{}, err
+	}
+	answers := make(query.MultiAnswer, len(queries))
+	for qi, q := range queries {
+		answers[qi] = query.NewAnswer(len(q.Strata))
+	}
+	for _, out := range res.Output {
+		answers[out.Key.Query].Strata[out.Key.Stratum] = out.Sample
+	}
+	return answers, res.Metrics, nil
+}

@@ -1,0 +1,164 @@
+package stratified
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/predicate"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+func incomeSSD(fLow, fHigh int) *query.SSD {
+	return query.NewSSD("income",
+		query.Stratum{Cond: predicate.MustParse("income < 500"), Freq: fLow},
+		query.Stratum{Cond: predicate.MustParse("income >= 500"), Freq: fHigh},
+	)
+}
+
+func TestMQEAnswersAllQueries(t *testing.T) {
+	r := genderPop(50, 50)
+	splits, _ := dataset.Partition(r, 4, dataset.RoundRobin, nil)
+	queries := []*query.SSD{genderSSD(5, 6), incomeSSD(4, 3)}
+	answers, met, err := RunMQE(zeroCluster(4), queries, r.Schema(), splits, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("got %d answers", len(answers))
+	}
+	for qi, q := range queries {
+		if err := answers[qi].Satisfies(q, r); err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+	}
+	// One pass over the data regardless of the number of queries.
+	if met.MapInputRecords != 100 {
+		t.Fatalf("map input %d, want 100 (single pass)", met.MapInputRecords)
+	}
+}
+
+func TestMQEEquivalentToSeparateSQEs(t *testing.T) {
+	// Semantically, MR-MQE must satisfy each query exactly as MR-SQE does.
+	r := genderPop(40, 60)
+	splits, _ := dataset.Partition(r, 3, dataset.Contiguous, nil)
+	queries := []*query.SSD{genderSSD(3, 4), incomeSSD(5, 2)}
+	answers, _, err := RunMQE(zeroCluster(3), queries, r.Schema(), splits, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		single, _, err := RunSQE(zeroCluster(3), q, r.Schema(), splits, Options{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if answers[qi].Size() != single.Size() {
+			t.Fatalf("query %d: MQE size %d vs SQE size %d", qi, answers[qi].Size(), single.Size())
+		}
+	}
+}
+
+func TestMQENoQueries(t *testing.T) {
+	if _, _, err := RunMQE(zeroCluster(1), nil, testSchema(), nil, Options{}); err == nil {
+		t.Fatal("want error for empty query set")
+	}
+}
+
+// TestMQEIndependentAcrossQueries: selections for different queries are
+// independent — sharing is incidental, not systematic. The average overlap
+// of two full-population samples of size k from N is k²/N.
+func TestMQEIndependentAcrossQueries(t *testing.T) {
+	const runs = 1500
+	const nPop = 40
+	r := genderPop(nPop, 0)
+	splits, _ := dataset.Partition(r, 2, dataset.RoundRobin, nil)
+	q1 := query.NewSSD("q1", query.Stratum{Cond: predicate.MustParse("gender = 1"), Freq: 8})
+	q2 := query.NewSSD("q2", query.Stratum{Cond: predicate.MustParse("income >= 0"), Freq: 8})
+	var overlap int64
+	for run := 0; run < runs; run++ {
+		answers, _, err := RunMQE(zeroCluster(2), []*query.SSD{q1, q2}, r.Schema(), splits, Options{Seed: int64(run)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in1 := map[int64]bool{}
+		for _, tp := range answers[0].Union() {
+			in1[tp.ID] = true
+		}
+		for _, tp := range answers[1].Union() {
+			if in1[tp.ID] {
+				overlap++
+			}
+		}
+	}
+	mean := float64(overlap) / runs
+	want := 64.0 / float64(nPop) // k²/N = 1.6
+	if mean < want*0.8 || mean > want*1.2 {
+		t.Fatalf("mean overlap %.3f, want ≈ %.3f (independence)", mean, want)
+	}
+}
+
+// TestMQEUniformPerQuery: within one MQE run over skewed splits, each
+// query's sample is still unbiased.
+func TestMQEUniformPerQuery(t *testing.T) {
+	const runs = 3000
+	r := genderPop(36, 0)
+	all := r.Tuples()
+	splits := []dataset.Split{
+		append(dataset.Split(nil), all[:3]...),
+		append(dataset.Split(nil), all[3:]...),
+	}
+	queries := []*query.SSD{genderSSD(6, 0)}
+	counts := make([]int64, 36)
+	for run := 0; run < runs; run++ {
+		answers, _, err := RunMQE(zeroCluster(2), queries, r.Schema(), splits, Options{Seed: int64(run) + 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range answers[0].Strata[0] {
+			counts[tp.ID]++
+		}
+	}
+	p, err := stats.ChiSquareUniformP(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("MQE biased: p = %g", p)
+	}
+}
+
+func TestRunKeyedBasics(t *testing.T) {
+	r := genderPop(30, 30)
+	splits, _ := dataset.Partition(r, 3, dataset.RoundRobin, nil)
+	classify := func(tp *dataset.Tuple, emit func(string)) {
+		if tp.Attrs[0] == 1 {
+			emit("men")
+		} else {
+			emit("women")
+		}
+		emit("ignored-class")
+	}
+	freqs := map[string]int{"men": 4, "women": 7}
+	out, _, err := RunKeyed(zeroCluster(3), classify, freqs, splits, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["men"]) != 4 || len(out["women"]) != 7 {
+		t.Fatalf("sizes: men %d, women %d", len(out["men"]), len(out["women"]))
+	}
+	if _, present := out["ignored-class"]; present {
+		t.Fatal("class without a frequency must be dropped")
+	}
+	for _, tp := range out["men"] {
+		if tp.Attrs[0] != 1 {
+			t.Fatal("misclassified tuple sampled")
+		}
+	}
+}
+
+func TestQSKeyString(t *testing.T) {
+	k := QSKey{Query: 0, Stratum: 2}
+	if k.String() != "Q1/s3" {
+		t.Fatalf("String = %q", k.String())
+	}
+}

@@ -1,0 +1,145 @@
+package stratified
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+// The paper's introduction defines stratified sampling as selecting "a
+// predefined number (or percentage) of individuals ... from each stratum".
+// Absolute frequencies are the core representation; this file provides the
+// percentage form, which requires one extra counting pass to learn the
+// stratum sizes before sampling.
+
+// PercentStratum is a stratum constraint whose sample size is a percentage
+// of the stratum's population instead of an absolute count.
+type PercentStratum struct {
+	// Cond is the stratum condition φ_k.
+	Cond predicate.Expr
+	// Percent is the required sampling fraction in percent, in (0, 100].
+	Percent float64
+}
+
+// PercentSSD is an SSD query with percentage frequencies.
+type PercentSSD struct {
+	Name   string
+	Strata []PercentStratum
+}
+
+// Validate checks percentages are in range and the induced SSD (with dummy
+// frequencies) is valid — i.e. strata are pairwise disjoint.
+func (q *PercentSSD) Validate(schema *dataset.Schema) error {
+	for i, s := range q.Strata {
+		if s.Percent <= 0 || s.Percent > 100 {
+			return fmt.Errorf("query %s stratum %d: percentage %g outside (0, 100]", q.Name, i, s.Percent)
+		}
+	}
+	return q.skeleton(nil).Validate(schema)
+}
+
+// skeleton builds the absolute-frequency SSD; freqs may be nil (all zero).
+func (q *PercentSSD) skeleton(freqs []int) *query.SSD {
+	strata := make([]query.Stratum, len(q.Strata))
+	for i, s := range q.Strata {
+		f := 0
+		if freqs != nil {
+			f = freqs[i]
+		}
+		strata[i] = query.Stratum{Cond: s.Cond, Freq: f}
+	}
+	return query.NewSSD(q.Name, strata...)
+}
+
+// stratumCountOut is one output of the stratum-size counting job.
+type stratumCountOut struct {
+	Stratum int
+	Count   int64
+}
+
+// CountStrata runs one MapReduce pass counting |σ_φk(R)| for every stratum.
+func CountStrata(c *mapreduce.Cluster, preds []predicate.Pred, splits []dataset.Split, seed int64) ([]int64, mapreduce.Metrics, error) {
+	job := &mapreduce.Job[dataset.Tuple, int, int64, stratumCountOut]{
+		Name: "mr-stratum-count",
+		Seed: seed,
+		Mapper: mapreduce.MapperFunc[dataset.Tuple, int, int64](
+			func(_ *mapreduce.TaskContext, t dataset.Tuple, emit func(int, int64)) {
+				if k := query.MatchStratum(preds, &t); k >= 0 {
+					emit(k, 1)
+				}
+			}),
+		Combiner: mapreduce.CombinerFunc[int, int64](
+			func(_ *mapreduce.TaskContext, _ int, vs []int64, emit func(int64)) {
+				var sum int64
+				for _, v := range vs {
+					sum += v
+				}
+				emit(sum)
+			}),
+		Reducer: mapreduce.ReducerFunc[int, int64, stratumCountOut](
+			func(_ *mapreduce.TaskContext, k int, vs []int64, emit func(stratumCountOut)) {
+				var sum int64
+				for _, v := range vs {
+					sum += v
+				}
+				emit(stratumCountOut{Stratum: k, Count: sum})
+			}),
+		KeyString: func(k int) string { return fmt.Sprintf("s%06d", k) },
+	}
+	res, err := mapreduce.Run(c, job, tupleSplits(splits))
+	if err != nil {
+		return nil, mapreduce.Metrics{}, err
+	}
+	counts := make([]int64, len(preds))
+	for _, o := range res.Output {
+		counts[o.Stratum] = o.Count
+	}
+	return counts, res.Metrics, nil
+}
+
+// Absolutize converts the percentage query into an absolute-frequency SSD by
+// counting stratum sizes with one MapReduce pass: f_k = ⌈percent·|σ_φk(R)|⌉
+// (at least 1 for non-empty strata, so tiny strata are represented — the
+// point of stratified sampling).
+func (q *PercentSSD) Absolutize(c *mapreduce.Cluster, schema *dataset.Schema, splits []dataset.Split, seed int64) (*query.SSD, mapreduce.Metrics, error) {
+	skeleton := q.skeleton(nil)
+	preds, err := skeleton.Compile(schema)
+	if err != nil {
+		return nil, mapreduce.Metrics{}, err
+	}
+	counts, met, err := CountStrata(c, preds, splits, seed)
+	if err != nil {
+		return nil, mapreduce.Metrics{}, err
+	}
+	freqs := make([]int, len(q.Strata))
+	for k, s := range q.Strata {
+		if counts[k] == 0 {
+			continue
+		}
+		f := int(math.Ceil(s.Percent / 100 * float64(counts[k])))
+		if f < 1 {
+			f = 1
+		}
+		freqs[k] = f
+	}
+	return q.skeleton(freqs), met, nil
+}
+
+// RunPercentSQE answers a percentage SSD query: one counting pass to resolve
+// the frequencies, then MR-SQE. Metrics accumulate both jobs.
+func RunPercentSQE(c *mapreduce.Cluster, q *PercentSSD, schema *dataset.Schema, splits []dataset.Split, opts Options) (*query.Answer, *query.SSD, mapreduce.Metrics, error) {
+	resolved, met, err := q.Absolutize(c, schema, splits, opts.Seed)
+	if err != nil {
+		return nil, nil, mapreduce.Metrics{}, err
+	}
+	ans, met2, err := RunSQE(c, resolved, schema, splits, opts)
+	if err != nil {
+		return nil, nil, mapreduce.Metrics{}, err
+	}
+	met.Add(met2)
+	return ans, resolved, met, nil
+}

@@ -1,0 +1,121 @@
+package stratified
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/predicate"
+)
+
+func percentQuery(pMen, pWomen float64) *PercentSSD {
+	return &PercentSSD{
+		Name: "pct",
+		Strata: []PercentStratum{
+			{Cond: predicate.MustParse("gender = 1"), Percent: pMen},
+			{Cond: predicate.MustParse("gender = 0"), Percent: pWomen},
+		},
+	}
+}
+
+func TestPercentValidate(t *testing.T) {
+	if err := percentQuery(10, 5).Validate(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := percentQuery(0, 5).Validate(testSchema()); err == nil {
+		t.Fatal("want error for 0%")
+	}
+	if err := percentQuery(101, 5).Validate(testSchema()); err == nil {
+		t.Fatal("want error for >100%")
+	}
+	overlap := &PercentSSD{
+		Name: "bad",
+		Strata: []PercentStratum{
+			{Cond: predicate.MustParse("income < 100"), Percent: 5},
+			{Cond: predicate.MustParse("income < 200"), Percent: 5},
+		},
+	}
+	if err := overlap.Validate(testSchema()); err == nil {
+		t.Fatal("want error for overlapping strata")
+	}
+}
+
+func TestAbsolutize(t *testing.T) {
+	r := genderPop(200, 50)
+	splits, _ := dataset.Partition(r, 4, dataset.RoundRobin, nil)
+	q := percentQuery(10, 4)
+	resolved, met, err := q.Absolutize(zeroCluster(4), r.Schema(), splits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resolved.Strata[0].Freq; got != 20 { // 10% of 200 men
+		t.Fatalf("men freq %d, want 20", got)
+	}
+	if got := resolved.Strata[1].Freq; got != 2 { // 4% of 50 women
+		t.Fatalf("women freq %d, want 2", got)
+	}
+	if met.MapInputRecords != 250 {
+		t.Fatalf("counting pass read %d records", met.MapInputRecords)
+	}
+}
+
+func TestAbsolutizeRoundsUpAndKeepsTinyStrata(t *testing.T) {
+	r := genderPop(3, 1000) // 3 men only
+	splits, _ := dataset.Partition(r, 2, dataset.RoundRobin, nil)
+	q := percentQuery(1, 1) // 1% of 3 men = 0.03 → at least 1
+	resolved, _, err := q.Absolutize(zeroCluster(2), r.Schema(), splits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Strata[0].Freq != 1 {
+		t.Fatalf("tiny stratum freq %d, want 1 (must stay represented)", resolved.Strata[0].Freq)
+	}
+	if resolved.Strata[1].Freq != 10 {
+		t.Fatalf("women freq %d, want 10", resolved.Strata[1].Freq)
+	}
+}
+
+func TestAbsolutizeEmptyStratum(t *testing.T) {
+	r := genderPop(0, 100)
+	splits, _ := dataset.Partition(r, 2, dataset.RoundRobin, nil)
+	resolved, _, err := percentQuery(50, 10).Absolutize(zeroCluster(2), r.Schema(), splits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Strata[0].Freq != 0 {
+		t.Fatalf("empty stratum freq %d, want 0", resolved.Strata[0].Freq)
+	}
+}
+
+func TestRunPercentSQEEndToEnd(t *testing.T) {
+	r := genderPop(300, 100)
+	splits, _ := dataset.Partition(r, 5, dataset.Contiguous, nil)
+	q := percentQuery(5, 10)
+	ans, resolved, met, err := RunPercentSQE(zeroCluster(5), q, r.Schema(), splits, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ans.Satisfies(resolved, r); err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Strata[0]) != 15 || len(ans.Strata[1]) != 10 {
+		t.Fatalf("sample sizes %d/%d, want 15/10", len(ans.Strata[0]), len(ans.Strata[1]))
+	}
+	// Two passes over the data: counting + sampling.
+	if met.MapInputRecords != 800 {
+		t.Fatalf("map input %d, want 800 (two passes of 400)", met.MapInputRecords)
+	}
+}
+
+func TestCountStrataMatchesRelationCount(t *testing.T) {
+	r := genderPop(123, 77)
+	splits, _ := dataset.Partition(r, 3, dataset.Skewed, nil)
+	q := genderSSD(1, 1)
+	preds, _ := q.Compile(r.Schema())
+	counts, _, err := CountStrata(zeroCluster(3), preds, splits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 123 || counts[1] != 77 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,77 @@
+package stratified
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/sampling"
+)
+
+// Sequential answers an SSD query with a single sequential pass over the
+// population, keeping one Algorithm R reservoir per stratum (Section 4.1 of
+// the paper). It is the non-distributed reference implementation the
+// distributed algorithms must be statistically equivalent to, and the test
+// oracle for MR-SQE.
+func Sequential(q *query.SSD, r *dataset.Relation, rng *rand.Rand) (*query.Answer, error) {
+	preds, err := q.Compile(r.Schema())
+	if err != nil {
+		return nil, err
+	}
+	reservoirs := make([]*sampling.Reservoir[dataset.Tuple], len(q.Strata))
+	for k, s := range q.Strata {
+		reservoirs[k] = sampling.NewReservoir[dataset.Tuple](s.Freq, rng)
+	}
+	tuples := r.Tuples()
+	for i := range tuples {
+		if k := query.MatchStratum(preds, &tuples[i]); k >= 0 {
+			reservoirs[k].Add(tuples[i])
+		}
+	}
+	ans := query.NewAnswer(len(q.Strata))
+	for k, res := range reservoirs {
+		ans.Strata[k] = res.TakeSample()
+	}
+	return ans, nil
+}
+
+// SequentialMulti answers several SSD queries in one sequential pass,
+// mirroring MR-MQE; it is the oracle for the multi-query case.
+func SequentialMulti(queries []*query.SSD, r *dataset.Relation, rng *rand.Rand) (query.MultiAnswer, error) {
+	compiled := make([][]func(*dataset.Tuple) bool, len(queries))
+	reservoirs := make([][]*sampling.Reservoir[dataset.Tuple], len(queries))
+	for qi, q := range queries {
+		preds, err := q.Compile(r.Schema())
+		if err != nil {
+			return nil, err
+		}
+		fs := make([]func(*dataset.Tuple) bool, len(preds))
+		for i, p := range preds {
+			fs[i] = p
+		}
+		compiled[qi] = fs
+		reservoirs[qi] = make([]*sampling.Reservoir[dataset.Tuple], len(q.Strata))
+		for k, s := range q.Strata {
+			reservoirs[qi][k] = sampling.NewReservoir[dataset.Tuple](s.Freq, rng)
+		}
+	}
+	tuples := r.Tuples()
+	for i := range tuples {
+		for qi := range compiled {
+			for k, pred := range compiled[qi] {
+				if pred(&tuples[i]) {
+					reservoirs[qi][k].Add(tuples[i])
+					break
+				}
+			}
+		}
+	}
+	answers := make(query.MultiAnswer, len(queries))
+	for qi, q := range queries {
+		answers[qi] = query.NewAnswer(len(q.Strata))
+		for k := range q.Strata {
+			answers[qi].Strata[k] = reservoirs[qi][k].TakeSample()
+		}
+	}
+	return answers, nil
+}

@@ -1,0 +1,132 @@
+// Package stratified implements the paper's distributed stratified-sampling
+// algorithms on top of the MapReduce engine:
+//
+//   - MR-SQE (Section 4.2.2, Figure 2): map partitions tuples by stratum
+//     constraint, a combiner draws per-map-task reservoir samples tagged with
+//     the size of the set they were drawn from, and the reducer applies the
+//     unified-sampler (Algorithm 1) to produce an unbiased final sample.
+//   - the naive variant (Section 4.2.1, Figure 1), which shuffles every
+//     matching tuple — used as a baseline to show what the combiner saves.
+//   - MR-MQE (Section 5.1): the multi-query extension keyed by (Q_i, s_k)
+//     pairs, answering a whole set of SSD queries in a single pass over R.
+package stratified
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+	"repro/internal/sampling"
+)
+
+// WeightedTuples is the value type flowing from combiners to reducers: an
+// intermediate sample with the size of its source set.
+type WeightedTuples = sampling.Weighted[dataset.Tuple]
+
+// Options configures a sampling run.
+type Options struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Naive disables the combiner, shuffling every matching tuple
+	// (Figure 1). The default (false) is the MR-SQE of Figure 2.
+	Naive bool
+	// Exclude removes individuals (by ID) from consideration before
+	// sampling; the CPS residual phase uses it to avoid re-selecting
+	// already-chosen tuples.
+	Exclude map[int64]struct{}
+}
+
+// stratumOut is one reducer output: the final sample of one stratum.
+type stratumOut struct {
+	Stratum int
+	Sample  []dataset.Tuple
+}
+
+// RunSQE answers a single SSD query over the distributed population and
+// returns the answer plus the job's metrics.
+func RunSQE(c *mapreduce.Cluster, q *query.SSD, schema *dataset.Schema, splits []dataset.Split, opts Options) (*query.Answer, mapreduce.Metrics, error) {
+	preds, err := q.Compile(schema)
+	if err != nil {
+		return nil, mapreduce.Metrics{}, err
+	}
+	freqs := make([]int, len(q.Strata))
+	for k, s := range q.Strata {
+		freqs[k] = s.Freq
+	}
+
+	job := &mapreduce.Job[dataset.Tuple, int, WeightedTuples, stratumOut]{
+		Name: "mr-sqe:" + q.Name,
+		Seed: opts.Seed,
+		Mapper: mapreduce.MapperFunc[dataset.Tuple, int, WeightedTuples](
+			func(_ *mapreduce.TaskContext, t dataset.Tuple, emit func(int, WeightedTuples)) {
+				if _, skip := opts.Exclude[t.ID]; skip {
+					return
+				}
+				if k := query.MatchStratum(preds, &t); k >= 0 {
+					emit(k, sampling.Singleton(t))
+				}
+			}),
+		Reducer: mapreduce.ReducerFunc[int, WeightedTuples, stratumOut](
+			func(ctx *mapreduce.TaskContext, k int, vs []WeightedTuples, emit func(stratumOut)) {
+				emit(stratumOut{Stratum: k, Sample: sampling.UnifiedSample(vs, freqs[k], ctx.Rand)})
+			}),
+		KeyString: func(k int) string { return fmt.Sprintf("s%06d", k) },
+	}
+	if !opts.Naive {
+		job.Combiner = combiner(func(k int) int { return freqs[k] })
+	}
+
+	res, err := mapreduce.Run(c, job, tupleSplits(splits))
+	if err != nil {
+		return nil, mapreduce.Metrics{}, err
+	}
+	ans := query.NewAnswer(len(q.Strata))
+	for _, out := range res.Output {
+		ans.Strata[out.Stratum] = out.Sample
+	}
+	return ans, res.Metrics, nil
+}
+
+// combiner builds the MR-SQE combine function: it locally selects an
+// intermediate sample of capacity freq(key) using Algorithm R over the map
+// task's tuples for that key and tags it with the number of tuples it saw.
+func combiner[K comparable](freq func(K) int) mapreduce.Combiner[K, WeightedTuples] {
+	return mapreduce.CombinerFunc[K, WeightedTuples](
+		func(ctx *mapreduce.TaskContext, k K, vs []WeightedTuples, emit func(WeightedTuples)) {
+			n := sampling.TotalN(vs)
+			target := freq(k)
+			exhaustive := true
+			for _, w := range vs {
+				if w.N != int64(len(w.Sample)) {
+					exhaustive = false
+					break
+				}
+			}
+			if exhaustive {
+				// Common case: every part is raw map output (singletons),
+				// so stream the tuples through Algorithm R, as in the
+				// paper's combine function.
+				res := sampling.NewReservoir[dataset.Tuple](target, ctx.Rand)
+				for _, w := range vs {
+					for _, t := range w.Sample {
+						res.Add(t)
+					}
+				}
+				emit(WeightedTuples{Sample: res.Sample(), N: n})
+				return
+			}
+			// Some parts were already subsampled (a combiner re-run):
+			// merge them without bias via the unified sampler.
+			emit(WeightedTuples{Sample: sampling.UnifiedSample(vs, target, ctx.Rand), N: n})
+		})
+}
+
+// tupleSplits converts typed dataset splits to the engine's input shape.
+func tupleSplits(splits []dataset.Split) [][]dataset.Tuple {
+	out := make([][]dataset.Tuple, len(splits))
+	for i, s := range splits {
+		out[i] = s
+	}
+	return out
+}

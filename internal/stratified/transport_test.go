@@ -1,0 +1,73 @@
+package stratified
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+)
+
+// TestSQEOverTCPShuffle runs the whole MR-SQE pipeline with its shuffle
+// travelling gob-encoded over loopback TCP — the closest this repo gets to
+// the paper's real cluster — and checks the answer is still exact and the
+// byte counts are real.
+func TestSQEOverTCPShuffle(t *testing.T) {
+	r := genderPop(200, 150)
+	splits, err := dataset.Partition(r, 6, dataset.Contiguous, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := mapreduce.NewCluster(3)
+	cluster.NewTransport = func() (mapreduce.Transport, error) { return mapreduce.NewTCPTransport() }
+	q := genderSSD(7, 9)
+	ans, met, err := RunSQE(cluster, q, r.Schema(), splits, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ans.Satisfies(q, r); err != nil {
+		t.Fatal(err)
+	}
+	if met.ShuffleBytes == 0 {
+		t.Fatal("no wire bytes recorded")
+	}
+
+	// Same seed without the transport must select the same individuals:
+	// serialization must not perturb determinism.
+	plain, _, err := RunSQE(mapreduce.NewCluster(3), q, r.Schema(), splits, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range q.Strata {
+		if len(ans.Strata[k]) != len(plain.Strata[k]) {
+			t.Fatalf("stratum %d sizes differ", k)
+		}
+		for i := range ans.Strata[k] {
+			if ans.Strata[k][i].ID != plain.Strata[k][i].ID {
+				t.Fatalf("stratum %d tuple %d differs across transports", k, i)
+			}
+		}
+	}
+}
+
+// TestMQEOverTCPShuffle: the multi-query pipeline with struct keys also
+// survives the serialized shuffle.
+func TestMQEOverTCPShuffle(t *testing.T) {
+	r := genderPop(120, 130)
+	splits, _ := dataset.Partition(r, 4, dataset.RoundRobin, nil)
+	cluster := mapreduce.NewCluster(2)
+	cluster.NewTransport = func() (mapreduce.Transport, error) { return mapreduce.NewTCPTransport() }
+	queries := []*query.SSD{genderSSD(4, 5), incomeSSD(3, 6)}
+	answers, met, err := RunMQE(cluster, queries, r.Schema(), splits, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		if err := answers[qi].Satisfies(q, r); err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+	}
+	if met.ShuffleBytes == 0 {
+		t.Fatal("no wire bytes recorded")
+	}
+}

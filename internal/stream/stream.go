@@ -1,0 +1,138 @@
+// Package stream implements simple random sampling from k distributed
+// streams with a coordinator — the related-work baseline the paper contrasts
+// itself against (Cormode, Muthukrishnan, Yi and Zhang, PODS 2010; Tirthapura
+// and Woodruff, DISC 2011). Sites observe items and forward a random subset
+// to a coordinator, which continuously maintains a uniform sample of the
+// union of all streams using far less communication than forwarding
+// everything.
+//
+// The protocol is the binary-row sampling scheme: every item draws a
+// geometric "level" (the number of tails before the first heads); the
+// coordinator keeps only items at or above a global level L, raising L (and
+// telling the sites) whenever its buffer overflows. Conditioned on being
+// retained, items are uniform, so a fixed-size sample drawn from the buffer
+// is a simple random sample of everything observed so far.
+//
+// Section 2 of the paper explains why this machinery cannot answer
+// stratified-sampling queries: the partition into strata is only known at
+// query time and typically differs from the partition into streams, so
+// per-stratum sample-size guarantees are impossible — small strata appear in
+// the maintained sample only in proportion to their population share. The
+// test suite demonstrates exactly that.
+package stream
+
+import (
+	"math/rand"
+
+	"repro/internal/sampling"
+)
+
+// entry is a retained item with its sampled level.
+type entry[T any] struct {
+	item  T
+	level int
+}
+
+// Coordinator maintains a uniform sample of the union of all sites' streams.
+type Coordinator[T any] struct {
+	sampleSize int
+	capacity   int
+	level      int
+	buf        []entry[T]
+	rng        *rand.Rand
+	seen       int64
+	upMsgs     int64 // site → coordinator item messages
+	downMsgs   int64 // coordinator → site level broadcasts
+	sites      int
+}
+
+// NewCoordinator creates a coordinator maintaining samples of size s. The
+// internal buffer holds up to 4·s items before the level rises.
+func NewCoordinator[T any](s int, rng *rand.Rand) *Coordinator[T] {
+	if s < 1 {
+		panic("stream: sample size must be positive")
+	}
+	if rng == nil {
+		panic("stream: nil rand source")
+	}
+	return &Coordinator[T]{sampleSize: s, capacity: 4 * s, rng: rng}
+}
+
+// Site is one distributed observer feeding the coordinator.
+type Site[T any] struct {
+	coord *Coordinator[T]
+	rng   *rand.Rand
+	level int // last threshold received from the coordinator
+	sent  int64
+}
+
+// NewSite registers a new observer with its own randomness.
+func (c *Coordinator[T]) NewSite(seed int64) *Site[T] {
+	c.sites++
+	return &Site[T]{coord: c, rng: rand.New(rand.NewSource(seed)), level: c.level}
+}
+
+// Observe offers one stream item to the site. The item is forwarded to the
+// coordinator only when its level reaches the current threshold, which is
+// what keeps communication sublinear in the stream length.
+func (s *Site[T]) Observe(item T) {
+	s.coord.seen++
+	// Geometric level: number of tails before the first heads.
+	level := 0
+	for s.rng.Intn(2) == 0 {
+		level++
+	}
+	if level < s.level {
+		return
+	}
+	s.coord.upMsgs++
+	s.sent++
+	s.coord.receive(entry[T]{item: item, level: level})
+	// The site learns the current threshold with the coordinator's ack;
+	// modelled as reading it directly (already counted in downMsgs when
+	// it changed).
+	s.level = s.coord.level
+}
+
+// receive stores a forwarded item, raising the level when the buffer is full.
+func (c *Coordinator[T]) receive(e entry[T]) {
+	if e.level < c.level {
+		return // raced with a level increase; drop
+	}
+	c.buf = append(c.buf, e)
+	for len(c.buf) > c.capacity {
+		c.level++
+		c.downMsgs += int64(c.sites) // broadcast the new threshold
+		kept := c.buf[:0]
+		for _, be := range c.buf {
+			if be.level >= c.level {
+				kept = append(kept, be)
+			}
+		}
+		c.buf = kept
+	}
+}
+
+// Sample draws a simple random sample of the configured size from everything
+// observed so far (fewer items if the union is smaller).
+func (c *Coordinator[T]) Sample() []T {
+	items := make([]T, len(c.buf))
+	for i, e := range c.buf {
+		items[i] = e.item
+	}
+	return sampling.SRS(items, c.sampleSize, c.rng)
+}
+
+// Seen returns the total number of items observed across all sites.
+func (c *Coordinator[T]) Seen() int64 { return c.seen }
+
+// Level returns the current retention threshold.
+func (c *Coordinator[T]) Level() int { return c.level }
+
+// Retained returns how many items the coordinator currently stores.
+func (c *Coordinator[T]) Retained() int { return len(c.buf) }
+
+// Messages returns the total protocol messages exchanged: item forwards plus
+// threshold broadcasts. The point of the protocol is that this stays far
+// below Seen().
+func (c *Coordinator[T]) Messages() int64 { return c.upMsgs + c.downMsgs }

@@ -1,0 +1,145 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSampleSizeAndDistinctness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCoordinator[int](10, rng)
+	sites := []*Site[int]{c.NewSite(2), c.NewSite(3), c.NewSite(4)}
+	for i := 0; i < 3000; i++ {
+		sites[i%3].Observe(i)
+	}
+	s := c.Sample()
+	if len(s) != 10 {
+		t.Fatalf("sample size %d, want 10", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 3000 || seen[v] {
+			t.Fatalf("bad sample element %d", v)
+		}
+		seen[v] = true
+	}
+	if c.Seen() != 3000 {
+		t.Fatalf("Seen = %d", c.Seen())
+	}
+}
+
+func TestSmallUnionReturnsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewCoordinator[int](50, rng)
+	site := c.NewSite(1)
+	for i := 0; i < 7; i++ {
+		site.Observe(i)
+	}
+	if got := len(c.Sample()); got != 7 {
+		t.Fatalf("sample of tiny union has %d items, want all 7", got)
+	}
+}
+
+// TestUniformAcrossSites: inclusion probability must not depend on which
+// site observed the item or where in the stream it appeared.
+func TestUniformAcrossSites(t *testing.T) {
+	const n, s, runs = 60, 6, 8000
+	counts := make([]int64, n)
+	for run := 0; run < runs; run++ {
+		rng := rand.New(rand.NewSource(int64(run)))
+		c := NewCoordinator[int](s, rng)
+		// Site 0 sees 10 items, site 1 sees 50 — skewed on purpose.
+		a, b := c.NewSite(int64(run)*2+1), c.NewSite(int64(run)*2+2)
+		for i := 0; i < 10; i++ {
+			a.Observe(i)
+		}
+		for i := 10; i < n; i++ {
+			b.Observe(i)
+		}
+		for _, v := range c.Sample() {
+			counts[v]++
+		}
+	}
+	p, err := stats.ChiSquareUniformP(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("stream sample biased: p = %g, counts = %v", p, counts)
+	}
+}
+
+// TestCommunicationSublinear: the protocol's reason to exist — messages stay
+// far below the stream length.
+func TestCommunicationSublinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewCoordinator[int](20, rng)
+	sites := make([]*Site[int], 4)
+	for i := range sites {
+		sites[i] = c.NewSite(int64(i) + 10)
+	}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sites[i%4].Observe(i)
+	}
+	if c.Messages() > n/10 {
+		t.Fatalf("messages %d for %d items; protocol not sublinear", c.Messages(), n)
+	}
+	if c.Retained() > 4*20 {
+		t.Fatalf("coordinator retains %d items, cap is 80", c.Retained())
+	}
+	if c.Level() == 0 {
+		t.Fatal("level never rose over a 200k stream")
+	}
+}
+
+// TestCannotGuaranteeStratumCounts demonstrates the paper's Section 2
+// argument: a maintained simple random sample represents a small stratum
+// only in proportion to its population share, so a query-time stratum
+// requirement ("give me 10 individuals over 70") routinely fails — which is
+// why stratified sampling needs its own distributed machinery.
+func TestCannotGuaranteeStratumCounts(t *testing.T) {
+	const n, s, rare, want = 2000, 40, 40, 10 // rare stratum: 2% of items
+	const runs = 300
+	failures := 0
+	for run := 0; run < runs; run++ {
+		rng := rand.New(rand.NewSource(int64(run) + 50))
+		c := NewCoordinator[int](s, rng)
+		site := c.NewSite(int64(run) + 5000)
+		for i := 0; i < n; i++ {
+			site.Observe(i)
+		}
+		inRare := 0
+		for _, v := range c.Sample() {
+			if v < rare {
+				inRare++
+			}
+		}
+		if inRare < want {
+			failures++
+		}
+	}
+	// E[rare in sample] = 40·(40/2000) = 0.8 ≪ 10; essentially every run
+	// must fail the stratum requirement.
+	if failures < runs*9/10 {
+		t.Fatalf("only %d/%d runs under-represent the rare stratum; expected nearly all", failures, runs)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCoordinator[int](0, rand.New(rand.NewSource(1))) },
+		func() { NewCoordinator[int](5, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
