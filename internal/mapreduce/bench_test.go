@@ -5,6 +5,59 @@ import (
 	"testing"
 )
 
+// shuffleHeavyJob emits every record unchanged under a wide key space with
+// no combiner, so nearly all engine time is spent moving, grouping and
+// byte-accounting shuffle pairs rather than in map or reduce user code.
+func shuffleHeavyJob() *Job[int, int, int64, int64] {
+	return &Job[int, int, int64, int64]{
+		Name: "shuffle-heavy",
+		Mapper: MapperFunc[int, int, int64](func(_ *TaskContext, v int, emit func(int, int64)) {
+			emit(v%997, int64(v))
+		}),
+		Reducer: ReducerFunc[int, int64, int64](func(_ *TaskContext, _ int, vs []int64, emit func(int64)) {
+			emit(int64(len(vs)))
+		}),
+		KeyString: func(k int) string { return strconv.Itoa(k) },
+	}
+}
+
+func benchShuffle(b *testing.B, mk func() (Transport, error)) {
+	splits := make([][]int, 16)
+	for s := range splits {
+		rows := make([]int, 4000)
+		for i := range rows {
+			rows[i] = s*4000 + i
+		}
+		splits[s] = rows
+	}
+	cluster := &Cluster{Slaves: 4, SlotsPerSlave: 2, Cost: ZeroCostModel()}
+	if mk != nil {
+		cluster.NewTransport = mk
+	}
+	job := shuffleHeavyJob()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job.Seed = int64(i)
+		res, err := Run(cluster, job, splits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Metrics.ShuffleRecords != 64000 {
+			b.Fatal("wrong shuffle record count")
+		}
+	}
+}
+
+// BenchmarkShuffle measures the in-memory shuffle: per-reducer grouping and
+// approximate byte accounting over 16 tasks × 4000 records × 997 keys.
+func BenchmarkShuffle(b *testing.B) { benchShuffle(b, nil) }
+
+// BenchmarkShuffleTransport measures the serialized shuffle path: gob
+// encode, Send/Receive through an in-process transport, decode, group.
+func BenchmarkShuffleTransport(b *testing.B) {
+	benchShuffle(b, func() (Transport, error) { return NewMemTransport(), nil })
+}
+
 // BenchmarkEngine runs a counting job over synthetic splits, measuring
 // engine overhead per record.
 func BenchmarkEngine(b *testing.B) {

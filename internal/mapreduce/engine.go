@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -19,9 +20,78 @@ type mapTaskOutput[K comparable, V any] struct {
 	pairs []Pair[K, V]
 }
 
+// keyGroups accumulates values per key in first-seen key order with one map
+// lookup per record: the map stores only an index into the parallel slices,
+// so the per-record path is a read-probe plus a slice append (no map write
+// after a key's first record). This is the grouping structure of both the
+// map-side combine input and the reduce-side shuffle output.
+type keyGroups[K comparable, V any] struct {
+	index    map[K]int
+	keyOrder []K
+	lists    [][]V
+}
+
+func newKeyGroups[K comparable, V any](sizeHint int) *keyGroups[K, V] {
+	// Cap the pre-size: the record count bounds the distinct-key count but
+	// can exceed it by orders of magnitude (e.g. a naive shuffle of every
+	// tuple under a handful of stratum keys), and an oversized table costs
+	// more to zero than the first few growths it would have saved.
+	if sizeHint > 256 {
+		sizeHint = 256
+	}
+	return &keyGroups[K, V]{index: make(map[K]int, sizeHint)}
+}
+
+func (g *keyGroups[K, V]) add(k K, v V) {
+	if i, ok := g.index[k]; ok {
+		g.lists[i] = append(g.lists[i], v)
+		return
+	}
+	g.index[k] = len(g.lists)
+	g.keyOrder = append(g.keyOrder, k)
+	// Start each value list with a little headroom: keys that group at all
+	// usually collect several values, and skipping the 1→2→4 growth steps
+	// measurably cuts allocation churn on the per-record path.
+	list := make([]V, 1, 4)
+	list[0] = v
+	g.lists = append(g.lists, list)
+}
+
+// sortByName reorders the groups into canonical key order and returns the
+// rendered names aligned with keyOrder/lists. It renders every key exactly
+// once (the previous per-comparison keyString calls were O(n log n) renders).
+func (g *keyGroups[K, V]) sortByName(name func(K) string) []string {
+	names := make([]string, len(g.keyOrder))
+	perm := make([]int, len(g.keyOrder))
+	for i, k := range g.keyOrder {
+		names[i] = name(k)
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return names[perm[a]] < names[perm[b]] })
+	sortedKeys := make([]K, len(perm))
+	sortedLists := make([][]V, len(perm))
+	sortedNames := make([]string, len(perm))
+	for out, in := range perm {
+		sortedKeys[out] = g.keyOrder[in]
+		sortedLists[out] = g.lists[in]
+		sortedNames[out] = names[in]
+	}
+	g.keyOrder, g.lists = sortedKeys, sortedLists
+	return sortedNames
+}
+
 // Run executes the job over the input splits on the cluster. Each split is
-// one map task. The error is non-nil only for configuration problems; user
-// code panics propagate.
+// one map task. The error is non-nil only for configuration problems or
+// transport failures; user code panics propagate.
+//
+// Concurrency model: map tasks run on a bounded worker pool and — when a
+// Transport is installed — each task encodes and sends its shuffle buckets
+// as soon as it finishes mapping, so sends overlap the remaining map work
+// (pipelined shuffle). The per-reducer receive, decode and group step then
+// runs on the same pool, one unit per reducer, as does the reduce phase.
+// Output is byte-identical to a serial shuffle: bucket concatenation is in
+// map-task order, reduce order is canonical key order, and every map task
+// and reduce key has a private deterministically-seeded random source.
 func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], splits [][]I) (*Result[O], error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -43,25 +113,35 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	met.MapTasks = len(splits)
 	met.ReduceTasks = numReducers
 
-	// ---- Map phase (with per-task combine) ----
+	var transport Transport
+	if c.NewTransport != nil {
+		var err error
+		transport, err = c.NewTransport()
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", job.Name, err)
+		}
+		defer transport.Close()
+	}
+
+	// ---- Map phase (with per-task combine and pipelined shuffle sends) ----
+	// All counters are accumulated per task and folded into Metrics once
+	// after the phase: nothing touches shared counters per record.
 	type mapCounters struct {
-		in, out, combineIn, combineOut int64
+		in, out, combineIn, combineOut, shuffleBytes int64
 	}
 	perTask := make([][]mapTaskOutput[K, V], len(splits)) // [task][reducer]
 	taskCounts := make([]mapCounters, len(splits))
+	taskErrs := make([]error, len(splits))
 
 	runParallel(len(splits), c.workers(), func(task int) {
-		ctx := newTaskContext(job.Name, "map", task, taskSeed(job.Seed, "map", fmt.Sprint(task)))
+		id := strconv.Itoa(task)
+		ctx := newTaskContext(job.Name, "map", task, taskSeed(job.Seed, "map", id))
 		// Buffer map output per key, preserving key first-seen order for
 		// deterministic combiner invocation order.
-		groups := make(map[K][]V)
-		var keyOrder []K
+		groups := newKeyGroups[K, V](len(splits[task]))
 		var cnt mapCounters
 		emit := func(k K, v V) {
-			if _, seen := groups[k]; !seen {
-				keyOrder = append(keyOrder, k)
-			}
-			groups[k] = append(groups[k], v)
+			groups.add(k, v)
 			cnt.out++
 		}
 		for i := range splits[task] {
@@ -70,33 +150,69 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		}
 
 		buckets := make([]mapTaskOutput[K, V], numReducers)
+		// Pre-cap each bucket near its expected share of this task's pairs
+		// so the per-pair append path rarely grows: combiners typically emit
+		// about one pair per key, the plain path forwards every map output.
+		bucketCap := len(groups.keyOrder)/numReducers + 1
+		if job.Combiner == nil {
+			bucketCap = int(cnt.out)/numReducers + 1
+		}
+		for r := range buckets {
+			buckets[r].pairs = make([]Pair[K, V], 0, bucketCap)
+		}
 		if job.Combiner != nil {
 			// Deterministic combine order: sort keys canonically so the
 			// task RNG consumption is independent of map emission order.
-			sort.Slice(keyOrder, func(i, j int) bool {
-				return job.keyString(keyOrder[i]) < job.keyString(keyOrder[j])
-			})
-			cctx := newTaskContext(job.Name, "combine", task, taskSeed(job.Seed, "combine", fmt.Sprint(task)))
-			for _, k := range keyOrder {
-				vs := groups[k]
+			names := groups.sortByName(job.keyString)
+			cctx := newTaskContext(job.Name, "combine", task, taskSeed(job.Seed, "combine", id))
+			for i, k := range groups.keyOrder {
+				vs := groups.lists[i]
 				cnt.combineIn += int64(len(vs))
-				p := job.partition(k, numReducers)
+				p := job.partitionByName(k, names[i], numReducers)
 				job.Combiner.Combine(cctx, k, vs, func(v V) {
 					cnt.combineOut++
 					buckets[p].pairs = append(buckets[p].pairs, Pair[K, V]{k, v})
 				})
 			}
 		} else {
-			for _, k := range keyOrder {
+			for i, k := range groups.keyOrder {
 				p := job.partition(k, numReducers)
-				for _, v := range groups[k] {
+				for _, v := range groups.lists[i] {
 					buckets[p].pairs = append(buckets[p].pairs, Pair[K, V]{k, v})
 				}
+			}
+		}
+		// Pipelined shuffle: this task's buckets leave the map worker as
+		// soon as they exist, overlapping the remaining map tasks. Without
+		// a transport the buckets stay in memory and only their approximate
+		// wire size is accounted, one bucket at a time.
+		if transport != nil {
+			for r := range buckets {
+				payload, err := encodeBucket(buckets[r].pairs)
+				if err != nil {
+					taskErrs[task] = err
+					return
+				}
+				n, err := transport.Send(task, r, payload)
+				if err != nil {
+					taskErrs[task] = err
+					return
+				}
+				cnt.shuffleBytes += int64(n)
+			}
+		} else {
+			for r := range buckets {
+				cnt.shuffleBytes += bucketApproxSize(buckets[r].pairs)
 			}
 		}
 		perTask[task] = buckets
 		taskCounts[task] = cnt
 	})
+	for _, err := range taskErrs {
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", job.Name, err)
+		}
+	}
 
 	mapDurations := make([]time.Duration, len(splits))
 	for t, cnt := range taskCounts {
@@ -104,6 +220,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		met.MapOutputRecords += cnt.out
 		met.CombineInputRecs += cnt.combineIn
 		met.CombineOutputRecs += cnt.combineOut
+		met.ShuffleBytes += cnt.shuffleBytes
 		base := c.Cost.TaskOverhead +
 			time.Duration(cnt.in)*c.Cost.MapPerRecord +
 			time.Duration(cnt.combineIn)*c.Cost.CombinePerRecord
@@ -116,82 +233,66 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	}
 	met.SimulatedMap = makespan(mapDurations, c.Slots())
 
-	// ---- Shuffle ----
+	// ---- Shuffle: parallel per-reducer receive, decode and group ----
 	// For each reducer, concatenate task buckets in task order, then group
 	// by key. Value order within a key is (task index, emission order):
-	// deterministic. With a Transport installed, buckets travel serialized
-	// (and, for TCPTransport, over real sockets) and ShuffleBytes are wire
-	// bytes; otherwise they are estimated from the in-memory pairs.
-	reducerInput := make([]map[K][]V, numReducers)
-	reducerKeyOrder := make([][]K, numReducers)
-	var shuffleRecords, shuffleBytes int64
+	// deterministic, so the parallel grouping is byte-identical to a serial
+	// one. With a Transport installed, buckets travel serialized (and, for
+	// TCPTransport, over real sockets) and ShuffleBytes are wire bytes;
+	// otherwise they are estimated from the in-memory pairs.
+	reducerGroups := make([]*keyGroups[K, V], numReducers)
+	reducerNames := make([][]string, numReducers)
+	shuffleRecs := make([]int64, numReducers)
+	reducerErrs := make([]error, numReducers)
 
-	perReducerPairs := make([][][]Pair[K, V], numReducers) // [reducer][task order]
-	if c.NewTransport != nil {
-		transport, err := c.NewTransport()
-		if err != nil {
-			return nil, fmt.Errorf("job %q: %w", job.Name, err)
-		}
-		defer transport.Close()
-		for t := range perTask {
-			for r := 0; r < numReducers; r++ {
-				payload, err := encodeBucket(perTask[t][r].pairs)
-				if err != nil {
-					return nil, err
-				}
-				n, err := transport.Send(t, r, payload)
-				if err != nil {
-					return nil, fmt.Errorf("job %q: %w", job.Name, err)
-				}
-				shuffleBytes += int64(n)
-			}
-		}
-		for r := 0; r < numReducers; r++ {
+	runParallel(numReducers, c.workers(), func(r int) {
+		var parts [][]Pair[K, V] // task-ordered bucket list for this reducer
+		if transport != nil {
 			payloads, err := transport.Receive(r, len(splits))
 			if err != nil {
-				return nil, fmt.Errorf("job %q: %w", job.Name, err)
+				reducerErrs[r] = err
+				return
 			}
+			parts = make([][]Pair[K, V], 0, len(payloads))
 			for _, payload := range payloads {
 				pairs, err := decodeBucket[K, V](payload)
 				if err != nil {
-					return nil, err
+					reducerErrs[r] = err
+					return
 				}
-				perReducerPairs[r] = append(perReducerPairs[r], pairs)
+				parts = append(parts, pairs)
+			}
+		} else {
+			parts = make([][]Pair[K, V], len(perTask))
+			for t := range perTask {
+				parts[t] = perTask[t][r].pairs
 			}
 		}
-	} else {
-		for r := 0; r < numReducers; r++ {
-			for t := range perTask {
-				pairs := perTask[t][r].pairs
-				perReducerPairs[r] = append(perReducerPairs[r], pairs)
-				for _, p := range pairs {
-					shuffleBytes += int64(approxSize(p.Key) + approxSize(p.Value))
-				}
+		var total int
+		for _, pairs := range parts {
+			total += len(pairs)
+		}
+		groups := newKeyGroups[K, V](total)
+		for _, pairs := range parts {
+			for i := range pairs {
+				groups.add(pairs[i].Key, pairs[i].Value)
 			}
+		}
+		shuffleRecs[r] = int64(total)
+		// Deterministic reduce order within the reducer; the names feed the
+		// per-key reduce seeds without re-rendering.
+		reducerNames[r] = groups.sortByName(job.keyString)
+		reducerGroups[r] = groups
+	})
+	for _, err := range reducerErrs {
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", job.Name, err)
 		}
 	}
 	for r := 0; r < numReducers; r++ {
-		groups := make(map[K][]V)
-		var order []K
-		for _, pairs := range perReducerPairs[r] {
-			for _, p := range pairs {
-				if _, seen := groups[p.Key]; !seen {
-					order = append(order, p.Key)
-				}
-				groups[p.Key] = append(groups[p.Key], p.Value)
-				shuffleRecords++
-			}
-		}
-		// Deterministic reduce order within the reducer.
-		sort.Slice(order, func(i, j int) bool {
-			return job.keyString(order[i]) < job.keyString(order[j])
-		})
-		reducerInput[r] = groups
-		reducerKeyOrder[r] = order
+		met.ShuffleRecords += shuffleRecs[r]
 	}
-	met.ShuffleRecords = shuffleRecords
-	met.ShuffleBytes = shuffleBytes
-	met.SimulatedShuffle = time.Duration(shuffleBytes) * c.Cost.ShufflePerByte
+	met.SimulatedShuffle = time.Duration(met.ShuffleBytes) * c.Cost.ShufflePerByte
 
 	// ---- Reduce phase ----
 	outputs := make([][]O, numReducers)
@@ -199,13 +300,19 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	runParallel(numReducers, c.workers(), func(r int) {
 		var out []O
 		var inRecs int64
-		for _, k := range reducerKeyOrder[r] {
+		groups := reducerGroups[r]
+		emit := func(o O) { out = append(out, o) }
+		// One context per reducer task, reseeded per key: the lazy source
+		// makes the reseed a word store, where a fresh context per key paid
+		// three allocations. Reduce code only sees ctx during its call.
+		ctx := newTaskContext(job.Name, "reduce", r, 0)
+		for i, k := range groups.keyOrder {
 			// Per-key RNG so the reduction of a key is reproducible no
 			// matter which reducer task it lands on.
-			ctx := newTaskContext(job.Name, "reduce", r, taskSeed(job.Seed, "reduce", job.keyString(k)))
-			vs := reducerInput[r][k]
+			ctx.Rand.Seed(taskSeed(job.Seed, "reduce", reducerNames[r][i]))
+			vs := groups.lists[i]
 			inRecs += int64(len(vs))
-			job.Reducer.Reduce(ctx, k, vs, func(o O) { out = append(out, o) })
+			job.Reducer.Reduce(ctx, k, vs, emit)
 		}
 		outputs[r] = out
 		reduceCounts[r] = inRecs
@@ -214,7 +321,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	reduceDurations := make([]time.Duration, numReducers)
 	var final []O
 	for r := 0; r < numReducers; r++ {
-		met.ReduceInputGroups += int64(len(reducerKeyOrder[r]))
+		met.ReduceInputGroups += int64(len(reducerGroups[r].keyOrder))
 		met.ReduceInputRecs += reduceCounts[r]
 		met.OutputRecords += int64(len(outputs[r]))
 		base := c.Cost.TaskOverhead + time.Duration(reduceCounts[r])*c.Cost.ReducePerRecord
@@ -232,8 +339,14 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	return &Result[O]{Output: final, Metrics: met}, nil
 }
 
-// runParallel runs fn(0..n-1) on at most `workers` goroutines and waits.
+// runParallel runs fn(0..n-1) on at most `workers` goroutines and waits. The
+// work channel is buffered to n and fully loaded before the workers start,
+// so no goroutine ever blocks on the producer and the call site's only
+// synchronization is the final Wait.
 func runParallel(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -246,8 +359,12 @@ func runParallel(n, workers int, fn func(int)) {
 		}
 		return
 	}
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -257,9 +374,5 @@ func runParallel(n, workers int, fn func(int)) {
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strconv"
 )
 
 // Pair is a key-value pair.
@@ -100,6 +101,13 @@ func (j *Job[I, K, V, O]) keyString(k K) string {
 }
 
 func (j *Job[I, K, V, O]) partition(k K, n int) int {
+	return j.partitionByName(k, j.keyString(k), n)
+}
+
+// partitionByName is partition with the key's canonical string already
+// computed, so callers that need the name anyway (combine ordering, reduce
+// seeding) render each key only once.
+func (j *Job[I, K, V, O]) partitionByName(k K, name string, n int) int {
 	if j.Partition != nil {
 		p := j.Partition(k, n)
 		if p < 0 || p >= n {
@@ -108,7 +116,7 @@ func (j *Job[I, K, V, O]) partition(k K, n int) int {
 		return p
 	}
 	h := fnv.New32a()
-	h.Write([]byte(j.keyString(k)))
+	h.Write([]byte(name))
 	return int(h.Sum32() % uint32(n))
 }
 
@@ -126,16 +134,30 @@ type TaskContext struct {
 	Task int
 }
 
-// taskSeed derives a deterministic per-task seed.
+// taskSeed derives a deterministic per-task seed: the FNV-1a hash of
+// "<jobSeed>/<phase>/<id>", computed inline so the per-reduce-key path does
+// not allocate. The value is bit-identical to hashing the formatted string.
 func taskSeed(jobSeed int64, phase string, id string) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d/%s/%s", jobSeed, phase, id)
-	return int64(h.Sum64())
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	var buf [20]byte
+	for _, c := range strconv.AppendInt(buf[:0], jobSeed, 10) {
+		h = (h ^ uint64(c)) * prime64
+	}
+	h = (h ^ '/') * prime64
+	for i := 0; i < len(phase); i++ {
+		h = (h ^ uint64(phase[i])) * prime64
+	}
+	h = (h ^ '/') * prime64
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * prime64
+	}
+	return int64(h)
 }
 
 func newTaskContext(jobName, phase string, task int, seed int64) *TaskContext {
 	return &TaskContext{
-		Rand:    rand.New(rand.NewSource(seed)),
+		Rand:    newTaskRand(seed),
 		JobName: jobName,
 		Phase:   phase,
 		Task:    task,

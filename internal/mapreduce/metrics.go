@@ -94,3 +94,44 @@ func approxSize(v any) int {
 		return 8
 	}
 }
+
+// fixedApproxSize reports the approxSize shared by every value of v's
+// dynamic type, or ok=false when the size is per-value (strings and ByteSize
+// implementers). It lets the shuffle account a whole bucket of fixed-size
+// pairs with one multiplication instead of two interface conversions per
+// pair.
+func fixedApproxSize(v any) (size int, ok bool) {
+	switch v.(type) {
+	case interface{ ByteSize() int }, string:
+		return 0, false
+	default:
+		return approxSize(v), true
+	}
+}
+
+// bucketApproxSize estimates the wire size of one shuffle bucket. The
+// fixed-vs-variable decision is made once per bucket from the first pair
+// (all pairs share the concrete key and value types), and the result is
+// byte-identical to summing approxSize over every pair.
+func bucketApproxSize[K comparable, V any](pairs []Pair[K, V]) int64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	keySize, keyFixed := fixedApproxSize(pairs[0].Key)
+	valSize, valFixed := fixedApproxSize(pairs[0].Value)
+	if keyFixed && valFixed {
+		return int64(keySize+valSize) * int64(len(pairs))
+	}
+	var total int64
+	for i := range pairs {
+		k, v := keySize, valSize
+		if !keyFixed {
+			k = approxSize(pairs[i].Key)
+		}
+		if !valFixed {
+			v = approxSize(pairs[i].Value)
+		}
+		total += int64(k + v)
+	}
+	return total
+}

@@ -14,6 +14,24 @@ func BenchmarkReservoirAdd(b *testing.B) {
 	}
 }
 
+// BenchmarkReservoirSkip streams a large slice through the reservoir in one
+// call, the path the MR-SQE combiner uses for full-split scans. With
+// Algorithm L's geometric skips the per-item cost is a counter decrement;
+// with Algorithm R it is one RNG draw per item.
+func BenchmarkReservoirSkip(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]int, 100_000)
+	for i := range items {
+		items[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh reservoir per iteration: one full-split combiner scan.
+		r := NewReservoir[int](100, rng)
+		r.AddSlice(items)
+	}
+}
+
 func BenchmarkSRS(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	items := make([]int, 10000)

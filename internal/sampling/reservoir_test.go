@@ -87,6 +87,112 @@ func TestReservoirUniform(t *testing.T) {
 	}
 }
 
+// TestReservoirSkipUniform is the Algorithm L counterpart of
+// TestReservoirUniform: it streams items through the AddSlice/Skip fast path
+// (which consumes whole rejected runs in O(1)) and checks, over well more
+// than 10k trials, that per-item inclusion is still uniform at k/N by
+// chi-square goodness of fit.
+func TestReservoirSkipUniform(t *testing.T) {
+	const n, k, runs = 24, 6, 20000
+	rng := rand.New(rand.NewSource(19))
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	counts := make([]int64, n)
+	for run := 0; run < runs; run++ {
+		r := NewReservoir[int](k, rng)
+		r.AddSlice(items)
+		for _, v := range r.Sample() {
+			counts[v]++
+		}
+	}
+	p, err := stats.ChiSquareUniformP(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("skip-path inclusion not uniform: p = %g, counts = %v", p, counts)
+	}
+}
+
+// TestReservoirAddSliceMatchesAdd: AddSlice must consume the RNG exactly like
+// an Add loop, so the two forms produce byte-identical reservoirs for the
+// same seed — including when the stream arrives in several chunks.
+func TestReservoirAddSliceMatchesAdd(t *testing.T) {
+	items := make([]int, 5000)
+	for i := range items {
+		items[i] = i
+	}
+	for _, k := range []int{0, 1, 7, 100} {
+		a := NewReservoir[int](k, rand.New(rand.NewSource(23)))
+		for _, v := range items {
+			a.Add(v)
+		}
+		b := NewReservoir[int](k, rand.New(rand.NewSource(23)))
+		b.AddSlice(items[:1500])
+		b.AddSlice(items[1500:1501])
+		b.AddSlice(items[1501:])
+		if a.Seen() != b.Seen() {
+			t.Fatalf("k=%d: seen %d vs %d", k, a.Seen(), b.Seen())
+		}
+		as, bs := a.Sample(), b.Sample()
+		if len(as) != len(bs) {
+			t.Fatalf("k=%d: sample sizes %d vs %d", k, len(as), len(bs))
+		}
+		for i := range as {
+			if as[i] != bs[i] {
+				t.Fatalf("k=%d: sample[%d] = %d vs %d", k, i, as[i], bs[i])
+			}
+		}
+	}
+}
+
+// TestReservoirSkipSemantics pins the Skip contract: zero while filling, at
+// most the requested count, never past the next acceptance, and a k=0
+// reservoir consumes everything.
+func TestReservoirSkipSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	r := NewReservoir[int](4, rng)
+	if got := r.Skip(10); got != 0 {
+		t.Fatalf("Skip while filling returned %d, want 0", got)
+	}
+	for i := 0; i < 4; i++ {
+		r.Add(i)
+	}
+	var skipped int64
+	for pos := int64(4); pos < 10000; {
+		s := r.Skip(10000 - pos)
+		if s < 0 || s > 10000-pos {
+			t.Fatalf("Skip returned %d with %d remaining", s, 10000-pos)
+		}
+		skipped += s
+		pos += s
+		if pos == 10000 {
+			break
+		}
+		// Skip stopped short of the request, so this position is accepted.
+		r.Add(int(pos))
+		pos++
+	}
+	if r.Seen() != 10000 {
+		t.Fatalf("seen %d, want 10000", r.Seen())
+	}
+	if skipped == 0 {
+		t.Fatal("Algorithm L skipped nothing over 10k items")
+	}
+	if got := r.Skip(0); got != 0 {
+		t.Fatal("Skip(0) must return 0")
+	}
+	if got := r.Skip(-5); got != 0 {
+		t.Fatal("Skip(negative) must return 0")
+	}
+	z := NewReservoir[int](0, rng)
+	if got := z.Skip(42); got != 42 || z.Seen() != 42 {
+		t.Fatalf("k=0 Skip consumed %d (seen %d), want 42", got, z.Seen())
+	}
+}
+
 func TestReservoirTakeSampleResets(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	r := NewReservoir[int](3, rng)
@@ -99,6 +205,27 @@ func TestReservoirTakeSampleResets(t *testing.T) {
 	}
 	if r.Seen() != 0 || len(r.Sample()) != 0 {
 		t.Fatal("TakeSample must reset the reservoir")
+	}
+	// Regression: the returned slice must be detached — refilling the
+	// reservoir (past the point where Algorithm L's skip state from the
+	// previous epoch could suppress replacements) must not alias it, and
+	// the second epoch must behave like a fresh reservoir.
+	got := append([]int(nil), s...)
+	for i := 100; i < 500; i++ {
+		r.Add(i)
+	}
+	for i, v := range s {
+		if v != got[i] {
+			t.Fatalf("TakeSample slice mutated by later Adds: %v -> %v", got, s)
+		}
+	}
+	if r.Seen() != 400 || len(r.Sample()) != 3 {
+		t.Fatalf("second epoch: seen %d sample %d", r.Seen(), len(r.Sample()))
+	}
+	for _, v := range r.Sample() {
+		if v < 100 || v >= 500 {
+			t.Fatalf("second-epoch sample holds stale value %d", v)
+		}
 	}
 }
 

@@ -38,11 +38,21 @@ func RunSplitLocal(q *query.SSD, schema *dataset.Schema, splits []dataset.Split,
 		}
 		return true
 	}
+	// Batch each split's matches per stratum so the reservoirs can consume
+	// rejected runs through Algorithm L's Skip fast path instead of paying
+	// one RNG draw per matching tuple.
+	matched := make([][]dataset.Tuple, len(q.Strata))
 	for si, split := range splits {
+		for k := range matched {
+			matched[k] = matched[k][:0]
+		}
 		for i := range split {
 			if k := query.MatchStratum(preds, &split[i]); k >= 0 {
-				reservoirs[k].Add(split[i])
+				matched[k] = append(matched[k], split[i])
 			}
+		}
+		for k := range matched {
+			reservoirs[k].AddSlice(matched[k])
 		}
 		if full() {
 			splitsRead = si + 1

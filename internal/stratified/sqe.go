@@ -105,13 +105,13 @@ func combiner[K comparable](freq func(K) int) mapreduce.Combiner[K, WeightedTupl
 			}
 			if exhaustive {
 				// Common case: every part is raw map output (singletons),
-				// so stream the tuples through Algorithm R, as in the
-				// paper's combine function.
+				// so stream the tuples through the reservoir, as in the
+				// paper's combine function. AddSlice rides Algorithm L's
+				// skip counts, so a full-split scan costs O(k(1+log(n/k)))
+				// RNG draws rather than one per tuple.
 				res := sampling.NewReservoir[dataset.Tuple](target, ctx.Rand)
 				for _, w := range vs {
-					for _, t := range w.Sample {
-						res.Add(t)
-					}
+					res.AddSlice(w.Sample)
 				}
 				emit(WeightedTuples{Sample: res.Sample(), N: n})
 				return
