@@ -5,15 +5,23 @@
 //
 // Usage:
 //
+//	strata [-v] [-log level] [-trace spans.jsonl] [-debug-addr addr] <command> ...
+//
 //	strata generate    -n 10000 [-uniform] [-graph] [-seed 1] [-stats] [-csv]
 //	strata sample      -n 10000 -query "nop >= 100 : 5; nop < 100 : 10" [-slaves 4]
 //	                   [-layout contiguous] [-naive] [-estimate ndcc]
 //	strata mssd        -n 10000 -group Small -sample 100 [-runs 5] [-ip] [-explain]
 //	                   [-waves 3]
 //	strata query       -design design.json [-data pop.csv] [-ip] [-out answers.csv]
+//	strata trace       [-top 5] spans.jsonl
 //	strata experiments [-run all|table2|figure6|figure7|figure8|optimality|uniform|
 //	                    scaling|scorecard] [-pop 20000] [-samples 100,1000]
 //	                   [-runs 10] [-slaves 10] [-json]
+//
+// The global flags configure observability for every command: -v / -log set
+// the structured-log level, -trace streams one JSON span per engine task to a
+// file ("strata trace" renders it), and -debug-addr serves /metrics
+// (Prometheus text), /debug/pprof and /debug/vars while the command runs.
 package main
 
 import (
@@ -22,28 +30,40 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	args, err := parseGlobalFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	var err error
-	switch os.Args[1] {
+	if err := globalObs.setup(); err != nil {
+		fmt.Fprintf(os.Stderr, "strata: %v\n", err)
+		os.Exit(1)
+	}
+	switch args[0] {
 	case "generate":
-		err = cmdGenerate(os.Args[2:])
+		err = cmdGenerate(args[1:])
 	case "sample":
-		err = cmdSample(os.Args[2:])
+		err = cmdSample(args[1:])
 	case "mssd":
-		err = cmdMSSD(os.Args[2:])
+		err = cmdMSSD(args[1:])
 	case "query":
-		err = cmdQuery(os.Args[2:])
+		err = cmdQuery(args[1:])
+	case "trace":
+		err = cmdTrace(args[1:])
 	case "experiments":
-		err = cmdExperiments(os.Args[2:])
+		err = cmdExperiments(args[1:])
 	case "-h", "--help", "help":
 		usage()
 	default:
-		fmt.Fprintf(os.Stderr, "strata: unknown command %q\n\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "strata: unknown command %q\n\n", args[0])
 		usage()
 		os.Exit(2)
+	}
+	if cerr := globalObs.close(); err == nil {
+		err = cerr
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "strata: %v\n", err)
@@ -54,12 +74,16 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `strata — stratified sampling over social networks using MapReduce
 
+usage: strata [global flags] <command> [command flags]
+
 commands:
   generate     generate a synthetic author population and print statistics
   sample       answer a single SSD query (MR-SQE) over a generated population
   mssd         answer a generated multi-survey query group (MR-MQE vs MR-CPS)
   query        run an MSSD design from a JSON file over a CSV or generated population
+  trace        summarize a span file written with -trace
   experiments  regenerate the paper's tables and figures
 
-run "strata <command> -h" for flags.`)
+global flags: -v, -log <level>, -trace <spans.jsonl>, -debug-addr <addr>
+run "strata <command> -h" for command flags.`)
 }

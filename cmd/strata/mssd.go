@@ -9,7 +9,6 @@ import (
 	"repro/internal/cps"
 	"repro/internal/dataset"
 	"repro/internal/gen"
-	"repro/internal/mapreduce"
 	"repro/internal/query"
 )
 
@@ -53,7 +52,7 @@ func cmdMSSD(args []string) error {
 	if err != nil {
 		return err
 	}
-	cluster := mapreduce.NewCluster(*slaves)
+	cluster := newCluster(*slaves)
 
 	fmt.Printf("group %s: %d SSDs × %d strata, sample %d each, population %d, %d slaves\n",
 		group.Name, group.N, group.StrataPerSSD(), *sample, *n, *slaves)
@@ -66,6 +65,7 @@ func cmdMSSD(args []string) error {
 			if err != nil {
 				return err
 			}
+			recordMetrics(res.Metrics)
 			fmt.Printf("wave %d: cost $%.0f, %d unique individuals (campaign total %d)\n",
 				w+1, res.Answers.Cost(costs), res.Answers.UniqueIndividuals(), camp.TotalSurveyed())
 		}
@@ -87,6 +87,7 @@ func cmdMSSD(args []string) error {
 			return err
 		}
 		last = res
+		recordMetrics(res.Metrics)
 		mqeCost += res.Initial.Cost(costs)
 		cpsCost += res.Answers.Cost(costs)
 		simTotal += res.Metrics.SimulatedTotal()

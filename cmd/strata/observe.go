@@ -1,0 +1,169 @@
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/mapreduce"
+)
+
+// obs is the process-wide observability state configured by the global flags
+// (strata [global flags] <command> ...). It owns the span file tracer, the
+// optional debug HTTP server, and the metrics accumulated across every job
+// the process runs.
+type obs struct {
+	verbose   bool
+	logLevel  string
+	tracePath string
+	debugAddr string
+
+	tracer    *mapreduce.JSONLTracer
+	traceFile *os.File
+
+	mu      sync.Mutex
+	metrics mapreduce.Metrics
+}
+
+var globalObs obs
+
+// parseGlobalFlags consumes the observability flags that precede the
+// subcommand and returns the remaining arguments (subcommand + its flags).
+func parseGlobalFlags(args []string) ([]string, error) {
+	fs := flag.NewFlagSet("strata", flag.ContinueOnError)
+	fs.Usage = func() {
+		usage()
+		fmt.Fprintln(os.Stderr, "\nglobal flags (before the command):")
+		fs.PrintDefaults()
+	}
+	fs.BoolVar(&globalObs.verbose, "v", false, "debug logging (shorthand for -log debug)")
+	fs.StringVar(&globalObs.logLevel, "log", "", "log level: debug, info, warn or error")
+	fs.StringVar(&globalObs.tracePath, "trace", "", "write engine spans to this JSON-lines `file` (read back with \"strata trace\")")
+	fs.StringVar(&globalObs.debugAddr, "debug-addr", "", "serve /metrics, /debug/pprof and /debug/vars on this `addr` (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return fs.Args(), nil
+}
+
+// setup applies the parsed flags: configures slog, opens the span file, and
+// starts the debug server. Call close() when the command finishes.
+func (o *obs) setup() error {
+	level := slog.LevelInfo
+	switch {
+	case o.verbose, strings.EqualFold(o.logLevel, "debug"):
+		level = slog.LevelDebug
+	case o.logLevel == "", strings.EqualFold(o.logLevel, "info"):
+		// default
+	case strings.EqualFold(o.logLevel, "warn"):
+		level = slog.LevelWarn
+	case strings.EqualFold(o.logLevel, "error"):
+		level = slog.LevelError
+	default:
+		return fmt.Errorf("unknown -log level %q (want debug, info, warn or error)", o.logLevel)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return fmt.Errorf("opening span file: %w", err)
+		}
+		o.traceFile = f
+		o.tracer = mapreduce.NewJSONLTracer(f)
+	}
+
+	if o.debugAddr != "" {
+		if err := o.serveDebug(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveDebug starts the debug HTTP server: pprof (via the blank import),
+// expvar at /debug/vars, and the accumulated job metrics in Prometheus text
+// format at /metrics. Listening happens synchronously so a bad address fails
+// the command instead of a background goroutine.
+func (o *obs) serveDebug() error {
+	expvar.Publish("strata_metrics", expvar.Func(func() any {
+		m := o.snapshot()
+		return m
+	}))
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		m := o.snapshot()
+		if err := m.WritePrometheus(w); err != nil {
+			slog.Error("writing /metrics", "err", err)
+		}
+	})
+	ln, err := net.Listen("tcp", o.debugAddr)
+	if err != nil {
+		return fmt.Errorf("debug server: %w", err)
+	}
+	slog.Info("debug server listening", "addr", ln.Addr().String(),
+		"endpoints", "/metrics /debug/pprof /debug/vars")
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			slog.Error("debug server", "err", err)
+		}
+	}()
+	return nil
+}
+
+// close flushes the span file, if any.
+func (o *obs) close() error {
+	if o.tracer == nil {
+		return nil
+	}
+	if err := o.tracer.Close(); err != nil {
+		return err
+	}
+	if err := o.traceFile.Close(); err != nil {
+		return err
+	}
+	slog.Info("span file written", "path", o.tracePath)
+	return nil
+}
+
+// record folds one job pipeline's metrics into the process-wide accumulator
+// served at /metrics and /debug/vars.
+func (o *obs) record(m mapreduce.Metrics) {
+	o.mu.Lock()
+	o.metrics.Add(m)
+	o.mu.Unlock()
+}
+
+// snapshot copies the accumulated metrics.
+func (o *obs) snapshot() mapreduce.Metrics {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var m mapreduce.Metrics
+	m.Add(o.metrics)
+	m.Job = "all"
+	return m
+}
+
+// newCluster builds a cluster wired to the process observability state: the
+// span tracer when -trace is set, and per-key metrics whenever someone is
+// looking (a tracer or a debug server).
+func newCluster(slaves int) *mapreduce.Cluster {
+	c := mapreduce.NewCluster(slaves)
+	if globalObs.tracer != nil {
+		c.Tracer = globalObs.tracer
+	}
+	if globalObs.tracer != nil || globalObs.debugAddr != "" {
+		c.PerKeyMetrics = true
+	}
+	return c
+}
+
+// recordMetrics is the subcommand-facing wrapper around globalObs.record.
+func recordMetrics(m mapreduce.Metrics) { globalObs.record(m) }

@@ -12,7 +12,6 @@ import (
 	"repro/internal/cps"
 	"repro/internal/dataset"
 	"repro/internal/gen"
-	"repro/internal/mapreduce"
 	"repro/internal/query"
 )
 
@@ -62,7 +61,7 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	cluster := mapreduce.NewCluster(*slaves)
+	cluster := newCluster(*slaves)
 	start := time.Now()
 	res, err := cps.Run(cluster, &m, pop.Schema(), splits, cps.Options{
 		Seed:  *seed,
@@ -71,6 +70,7 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	recordMetrics(res.Metrics)
 
 	fmt.Printf("population %d, %d surveys, %d interview slots\n", pop.Len(), len(m.Queries), m.TotalFreq())
 	for qi, q := range m.Queries {

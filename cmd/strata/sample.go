@@ -10,7 +10,6 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/estimate"
 	"repro/internal/gen"
-	"repro/internal/mapreduce"
 	"repro/internal/predicate"
 	"repro/internal/query"
 	"repro/internal/stratified"
@@ -75,7 +74,7 @@ func cmdSample(args []string) error {
 	if err != nil {
 		return err
 	}
-	cluster := mapreduce.NewCluster(*slaves)
+	cluster := newCluster(*slaves)
 	ans, met, err := stratified.RunSQE(cluster, q, pop.Schema(), splits, stratified.Options{
 		Seed:  *seed,
 		Naive: *naive,
@@ -83,6 +82,7 @@ func cmdSample(args []string) error {
 	if err != nil {
 		return err
 	}
+	recordMetrics(met)
 	for k, s := range q.Strata {
 		fmt.Printf("stratum %d (%s, f=%d): %d individuals\n", k+1, s.Cond, s.Freq, len(ans.Strata[k]))
 		if *showTuples {

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/mapreduce"
+)
+
+// phaseOrder is the rendering order of span phases — execution order, with
+// the whole-job span last.
+var phaseOrder = []string{
+	mapreduce.PhaseMap,
+	mapreduce.PhaseCombine,
+	mapreduce.PhaseShuffleSend,
+	mapreduce.PhaseShuffleRecv,
+	mapreduce.PhaseReduce,
+	mapreduce.PhaseJob,
+}
+
+// phaseAgg accumulates one (job, phase) row of the timeline table.
+type phaseAgg struct {
+	spans   int
+	failed  int
+	records int64
+	out     int64
+	groups  int64
+	bytes   int64
+	sim     time.Duration
+	simMax  time.Duration
+	wall    time.Duration
+	first   time.Duration
+	last    time.Duration
+}
+
+// cmdTrace summarizes a span file written with the global -trace flag: one
+// per-phase timeline table per job, plus the slowest task attempts.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	top := fs.Int("top", 5, "list this many slowest task attempts per job (0 = none)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: strata trace [-top n] <spans.jsonl>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("trace: want exactly one span file argument")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := mapreduce.ReadSpans(f)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace: %s holds no spans", fs.Arg(0))
+	}
+
+	var jobs []string
+	agg := map[string]map[string]*phaseAgg{} // job → phase → row
+	for _, s := range spans {
+		phases, ok := agg[s.Job]
+		if !ok {
+			phases = map[string]*phaseAgg{}
+			agg[s.Job] = phases
+			jobs = append(jobs, s.Job)
+		}
+		row := phases[s.Phase]
+		if row == nil {
+			row = &phaseAgg{first: s.Start}
+			phases[s.Phase] = row
+		}
+		row.spans++
+		if s.Failed {
+			row.failed++
+		}
+		row.records += s.Records
+		row.out += s.Out
+		row.groups += s.Groups
+		row.bytes += s.Bytes
+		row.sim += s.Simulated
+		if s.Simulated > row.simMax {
+			row.simMax = s.Simulated
+		}
+		row.wall += s.Wall
+		if s.Start < row.first {
+			row.first = s.Start
+		}
+		if end := s.Start + s.Wall; end > row.last {
+			row.last = end
+		}
+	}
+
+	for _, job := range jobs {
+		phases := agg[job]
+		fmt.Printf("job %q\n", job)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "phase\tspans\tfailed\trecords\tout\tgroups\tbytes\tsim total\tsim max\twall\t")
+		for _, phase := range phaseOrder {
+			row := phases[phase]
+			if row == nil {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%v\t%v\t%v\t\n",
+				phase, row.spans, row.failed, row.records, row.out, row.groups, row.bytes,
+				row.sim.Round(time.Microsecond), row.simMax.Round(time.Microsecond),
+				row.wall.Round(time.Microsecond))
+		}
+		tw.Flush()
+		if m, s, r := jobBreakdown(phases); m+s+r > 0 {
+			total := m + s + r
+			fmt.Printf("simulated split: map %.0f%%  shuffle %.0f%%  reduce %.0f%%\n",
+				100*frac(m, total), 100*frac(s, total), 100*frac(r, total))
+		}
+		if *top > 0 {
+			printSlowest(spans, job, *top)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// jobBreakdown sums the job's simulated time into the paper's three phases.
+// Combine time is part of the map tasks' spans already; the send/recv legs
+// together form the shuffle.
+func jobBreakdown(phases map[string]*phaseAgg) (m, s, r time.Duration) {
+	if row := phases[mapreduce.PhaseMap]; row != nil {
+		m += row.sim
+	}
+	for _, p := range []string{mapreduce.PhaseShuffleSend, mapreduce.PhaseShuffleRecv} {
+		if row := phases[p]; row != nil {
+			s += row.sim
+		}
+	}
+	if row := phases[mapreduce.PhaseReduce]; row != nil {
+		r += row.sim
+	}
+	return m, s, r
+}
+
+func frac(d, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(d) / float64(total)
+}
+
+// printSlowest lists the job's slowest map/reduce attempts by simulated time
+// — with a FaultModel installed, straggler attempts surface here.
+func printSlowest(spans []mapreduce.Span, job string, n int) {
+	var tasks []mapreduce.Span
+	for _, s := range spans {
+		if s.Job == job && (s.Phase == mapreduce.PhaseMap || s.Phase == mapreduce.PhaseReduce) {
+			tasks = append(tasks, s)
+		}
+	}
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].Simulated > tasks[j].Simulated })
+	if len(tasks) > n {
+		tasks = tasks[:n]
+	}
+	fmt.Println("slowest task attempts:")
+	for _, s := range tasks {
+		status := "ok"
+		if s.Failed {
+			status = "FAILED"
+		}
+		fmt.Printf("  %-6s task %d attempt %d: sim %v, %d recs, %s\n",
+			s.Phase, s.Task, s.Attempt, s.Simulated.Round(time.Microsecond), s.Records, status)
+	}
+}

@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/gen"
@@ -43,7 +44,11 @@ func main() {
 	// Answer the query with MR-SQE: map partitions by stratum, combiners
 	// draw per-machine reservoir samples, the reducer merges them with the
 	// unified-sampler so every individual has equal inclusion probability.
+	// A MemTracer on the cluster collects one span per task attempt, combine
+	// and shuffle leg, so we can break the run down by phase afterwards.
 	cluster := mapreduce.NewCluster(4)
+	tracer := mapreduce.NewMemTracer()
+	cluster.Tracer = tracer
 	ans, metrics, err := stratified.RunSQE(cluster, q, pop.Schema(), splits, stratified.Options{Seed: 7})
 	if err != nil {
 		log.Fatal(err)
@@ -61,6 +66,25 @@ func main() {
 	fmt.Printf("\njob counters: %s\n", metrics)
 	fmt.Printf("virtual cluster time: %v (the combiner kept the shuffle at %d records for %d inputs)\n",
 		metrics.SimulatedTotal().Round(1e6), metrics.ShuffleRecords, metrics.MapInputRecords)
+
+	// Per-phase breakdown from the trace: sum the spans' simulated time by
+	// phase — the same split as the paper's time-breakdown experiments.
+	sim := map[string]time.Duration{}
+	n := map[string]int{}
+	for _, s := range tracer.Spans() {
+		sim[s.Phase] += s.Simulated
+		n[s.Phase]++
+	}
+	fmt.Println("\nper-phase trace (simulated task time, not makespan):")
+	for _, phase := range []string{mapreduce.PhaseMap, mapreduce.PhaseCombine,
+		mapreduce.PhaseShuffleSend, mapreduce.PhaseShuffleRecv, mapreduce.PhaseReduce} {
+		fmt.Printf("  %-12s %3d spans  %v\n", phase, n[phase], sim[phase].Round(1e3))
+	}
+	// The combiner also reports every intermediate reservoir it shipped,
+	// via TaskContext.Observe — here: how big the per-machine samples were.
+	if h := metrics.Custom["reservoir_size"]; h != nil {
+		fmt.Printf("intermediate reservoirs: %s\n", h)
+	}
 }
 
 func min(a, b int) int {

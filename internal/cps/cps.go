@@ -1,7 +1,9 @@
 package cps
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -82,6 +84,7 @@ func run(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []d
 		return nil, err
 	}
 	res := &Result{}
+	logDebug := slog.Default().Enabled(context.Background(), slog.LevelDebug)
 
 	// Step 1: representative non-optimal answer A (MR-MQE).
 	initial, met, err := stratified.RunMQE(c, queries, schema, splits, stratified.Options{
@@ -94,6 +97,11 @@ func run(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []d
 	}
 	res.Initial = initial
 	res.Metrics.Add(met)
+	if logDebug {
+		slog.Debug("cps step 1: initial MR-MQE answer",
+			"queries", n, "shuffle_records", met.ShuffleRecords,
+			"simulated", met.SimulatedTotal())
+	}
 
 	// Step 2: [[Q]]* and F(A_i, σ) from SSTs over the initial answers.
 	tFormStart := time.Now()
@@ -107,6 +115,10 @@ func run(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []d
 	}
 	res.Metrics.Add(met)
 	res.LP.FormulateTime = time.Since(tFormStart)
+	if logDebug {
+		slog.Debug("cps steps 2-3: selections and limits",
+			"selections", res.LP.Selections, "formulate", res.LP.FormulateTime)
+	}
 
 	// Step 4: formulate and solve the constraint program of Figure 3.
 	tSolveStart := time.Now()
@@ -120,6 +132,11 @@ func run(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []d
 	res.LP.Objective = plan.Objective
 	res.Plan = plan
 	res.Stats = stats
+	if logDebug {
+		slog.Debug("cps step 4: constraint program solved",
+			"vars", plan.Vars, "constraints", plan.Constraints,
+			"objective", plan.Objective, "solve", res.LP.SolveTime)
+	}
 
 	// Step 5: answer the derived query Q′ in one pass keyed by stratum
 	// selection, and deal tuples to surveys per X_τ(σ).
@@ -139,6 +156,11 @@ func run(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []d
 		return nil, fmt.Errorf("cps: combined answer: %w", err)
 	}
 	res.Metrics.Add(met)
+	if logDebug {
+		slog.Debug("cps step 5: derived query answered",
+			"classes", len(want), "shuffle_records", met.ShuffleRecords,
+			"simulated", met.SimulatedTotal())
+	}
 
 	answers := make(query.MultiAnswer, n)
 	chosen := make([]map[int64]struct{}, n) // per-survey selected IDs
@@ -229,6 +251,12 @@ func run(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []d
 				res.ResidualTuples++
 			}
 		}
+	}
+
+	if logDebug {
+		slog.Debug("cps step 6: residual phase done",
+			"deficient_classes", len(deficit),
+			"planned_tuples", res.PlannedTuples, "residual_tuples", res.ResidualTuples)
 	}
 
 	res.Answers = answers

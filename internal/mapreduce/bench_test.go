@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"io"
 	"strconv"
 	"testing"
 )
@@ -21,7 +22,7 @@ func shuffleHeavyJob() *Job[int, int, int64, int64] {
 	}
 }
 
-func benchShuffle(b *testing.B, mk func() (Transport, error)) {
+func benchShuffle(b *testing.B, mk func() (Transport, error), tr Tracer) {
 	splits := make([][]int, 16)
 	for s := range splits {
 		rows := make([]int, 4000)
@@ -30,7 +31,7 @@ func benchShuffle(b *testing.B, mk func() (Transport, error)) {
 		}
 		splits[s] = rows
 	}
-	cluster := &Cluster{Slaves: 4, SlotsPerSlave: 2, Cost: ZeroCostModel()}
+	cluster := &Cluster{Slaves: 4, SlotsPerSlave: 2, Cost: ZeroCostModel(), Tracer: tr}
 	if mk != nil {
 		cluster.NewTransport = mk
 	}
@@ -50,17 +51,32 @@ func benchShuffle(b *testing.B, mk func() (Transport, error)) {
 
 // BenchmarkShuffle measures the in-memory shuffle: per-reducer grouping and
 // approximate byte accounting over 16 tasks × 4000 records × 997 keys.
-func BenchmarkShuffle(b *testing.B) { benchShuffle(b, nil) }
+func BenchmarkShuffle(b *testing.B) { benchShuffle(b, nil, nil) }
+
+// BenchmarkShuffleTraced is BenchmarkShuffle with a JSON-lines tracer
+// enabled, bounding the span-assembly overhead on a shuffle-heavy job.
+func BenchmarkShuffleTraced(b *testing.B) {
+	benchShuffle(b, nil, NewJSONLTracer(io.Discard))
+}
 
 // BenchmarkShuffleTransport measures the serialized shuffle path: gob
 // encode, Send/Receive through an in-process transport, decode, group.
 func BenchmarkShuffleTransport(b *testing.B) {
-	benchShuffle(b, func() (Transport, error) { return NewMemTransport(), nil })
+	benchShuffle(b, func() (Transport, error) { return NewMemTransport(), nil }, nil)
 }
 
 // BenchmarkEngine runs a counting job over synthetic splits, measuring
-// engine overhead per record.
-func BenchmarkEngine(b *testing.B) {
+// engine overhead per record with observability off (nil tracer).
+func BenchmarkEngine(b *testing.B) { benchEngine(b, nil) }
+
+// BenchmarkEngineTraced is BenchmarkEngine with a JSON-lines tracer enabled
+// — the tracer-on cost of the same job (span assembly, wall-clock reads,
+// per-key counters and JSON encoding to a discarded sink).
+func BenchmarkEngineTraced(b *testing.B) {
+	benchEngine(b, NewJSONLTracer(io.Discard))
+}
+
+func benchEngine(b *testing.B, tr Tracer) {
 	splits := make([][]int, 16)
 	for s := range splits {
 		rows := make([]int, 2000)
@@ -90,7 +106,7 @@ func BenchmarkEngine(b *testing.B) {
 		}),
 		KeyString: func(k int) string { return strconv.Itoa(k) },
 	}
-	cluster := &Cluster{Slaves: 4, SlotsPerSlave: 2, Cost: ZeroCostModel()}
+	cluster := &Cluster{Slaves: 4, SlotsPerSlave: 2, Cost: ZeroCostModel(), Tracer: tr}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		job.Seed = int64(i)

@@ -26,6 +26,15 @@ type Cluster struct {
 	// tasks, independent of the simulated slot count. 0 means "as many as
 	// slots".
 	MaxParallelism int
+	// Tracer, when non-nil and enabled, receives one Span per task attempt,
+	// combine, shuffle leg and job (see the Phase* constants). A nil or
+	// disabled tracer keeps the engine's hot path free of span assembly and
+	// wall-clock reads.
+	Tracer Tracer
+	// PerKeyMetrics asks the engine to fill Metrics.PerKey with per-key
+	// (per-stratum) reduce counters. It is implied by an enabled Tracer;
+	// off by default because a wide key space would make Metrics large.
+	PerKeyMetrics bool
 }
 
 // NewCluster returns a cluster with n slaves, one slot per slave, and the
@@ -53,4 +62,13 @@ func (c *Cluster) workers() int {
 		return c.MaxParallelism
 	}
 	return c.Slots()
+}
+
+// tracer returns the cluster's tracer if spans are wanted, else nil — the
+// single gate the engine checks per run.
+func (c *Cluster) tracer() Tracer {
+	if c.Tracer != nil && c.Tracer.Enabled() {
+		return c.Tracer
+	}
+	return nil
 }

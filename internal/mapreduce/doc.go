@@ -1,0 +1,46 @@
+// Package mapreduce implements an in-process MapReduce engine with the
+// semantics the paper's algorithms rely on: a map phase over input splits,
+// an optional per-map-task combiner, a hash-partitioned shuffle with byte
+// accounting, and a reduce phase. Tasks run concurrently on goroutines.
+//
+// # Execution model
+//
+// Map tasks run on a bounded worker pool. The shuffle is pipelined: as soon
+// as a map task finishes, its per-reducer buckets are encoded and handed to
+// the cluster's Transport (or kept in memory), overlapping the remaining map
+// work; reducers then receive, decode and group their buckets in parallel,
+// one unit per reducer. Combiners draw their intermediate reservoir samples
+// with Algorithm L (geometric skips), so a full-split scan costs
+// O(k(1+log(n/k))) RNG draws instead of one per tuple. Output is
+// byte-identical to a serial shuffle.
+//
+// # Virtual clock
+//
+// Because the original evaluation ran on a Hadoop cluster whose wall-clock
+// behaviour we cannot reproduce on one machine, the engine additionally keeps
+// a *virtual clock*: a configurable cost model assigns each task a simulated
+// duration from its measured record and byte counts, and a scheduler computes
+// the makespan over the cluster's map/reduce slots. The optional FaultModel
+// injects deterministic task failures and stragglers into that clock.
+// Counters (records, groups, shuffled bytes) are always measured, never
+// modelled.
+//
+// # Observability
+//
+// A Tracer installed on the Cluster receives one Span per task attempt
+// (fault re-executions included), combine, shuffle leg and job, carrying
+// wall and simulated durations plus record/byte counts; implementations
+// include an in-memory collector and a JSON-lines sink that `strata trace`
+// renders into a per-phase timeline. Metrics carries per-phase Histograms
+// (task latency, shuffle bucket bytes), user histograms observed through
+// TaskContext.Observe, and optional per-key counters, and exports itself as
+// JSON or Prometheus text. With a nil (or disabled) tracer every hook
+// compiles down to a branch, keeping the hot path at its benchmarked speed.
+//
+// # Determinism
+//
+// Every map task and every reduce key gets its own random source, seeded
+// from the job seed and the task index or key string, so a job's output is
+// reproducible regardless of goroutine interleaving — and so is every
+// Metrics field except the measured wall times.
+package mapreduce

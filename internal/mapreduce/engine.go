@@ -1,7 +1,9 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"sync"
@@ -80,6 +82,38 @@ func (g *keyGroups[K, V]) sortByName(name func(K) string) []string {
 	return sortedNames
 }
 
+// histObserver returns a TaskContext.Observe backend recording into *set,
+// allocating the map and histograms on first use so untraced jobs that never
+// observe pay only a nil-map check.
+func histObserver(set *map[string]*Histogram) func(string, int64) {
+	return func(name string, v int64) {
+		if *set == nil {
+			*set = make(map[string]*Histogram, 2)
+		}
+		h := (*set)[name]
+		if h == nil {
+			h = &Histogram{}
+			(*set)[name] = h
+		}
+		h.Observe(v)
+	}
+}
+
+// mergeCustom folds one task's observed histograms into Metrics.Custom.
+func (m *Metrics) mergeCustom(custom map[string]*Histogram) {
+	for name, h := range custom {
+		if m.Custom == nil {
+			m.Custom = make(map[string]*Histogram, len(custom))
+		}
+		if mine := m.Custom[name]; mine != nil {
+			mine.Merge(*h)
+		} else {
+			cp := *h
+			m.Custom[name] = &cp
+		}
+	}
+}
+
 // Run executes the job over the input splits on the cluster. Each split is
 // one map task. The error is non-nil only for configuration problems or
 // transport failures; user code panics propagate.
@@ -92,6 +126,15 @@ func (g *keyGroups[K, V]) sortByName(name func(K) string) []string {
 // Output is byte-identical to a serial shuffle: bucket concatenation is in
 // map-task order, reduce order is canonical key order, and every map task
 // and reduce key has a private deterministically-seeded random source.
+//
+// Observability: when the cluster carries an enabled Tracer, the engine
+// measures per-task wall times and emits one Span per task attempt (fault
+// re-executions included), per-task combine and shuffle-send spans,
+// per-reducer shuffle-recv and reduce spans, and one job span — all from
+// its serial accounting sections, so span order is deterministic. Histogram
+// and counter collection on Metrics is always on; only span assembly and
+// wall-clock reads are gated, which keeps the untraced hot path at its
+// benchmarked speed.
 func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], splits [][]I) (*Result[O], error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -106,6 +149,10 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	if numReducers <= 0 {
 		numReducers = c.Slaves
 	}
+
+	tr := c.tracer()
+	perKey := c.PerKeyMetrics || tr != nil
+	logDebug := slog.Default().Enabled(context.Background(), slog.LevelDebug)
 
 	start := time.Now()
 	var met Metrics
@@ -128,6 +175,11 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	// after the phase: nothing touches shared counters per record.
 	type mapCounters struct {
 		in, out, combineIn, combineOut, shuffleBytes int64
+		bucketBytes                                  Histogram
+		custom                                       map[string]*Histogram
+		// Wall-clock trace points, as offsets from the run start; written
+		// only when a tracer is enabled.
+		startOff, mapDone, combineDone, sendDone time.Duration
 	}
 	perTask := make([][]mapTaskOutput[K, V], len(splits)) // [task][reducer]
 	taskCounts := make([]mapCounters, len(splits))
@@ -136,10 +188,14 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	runParallel(len(splits), c.workers(), func(task int) {
 		id := strconv.Itoa(task)
 		ctx := newTaskContext(job.Name, "map", task, taskSeed(job.Seed, "map", id))
+		cnt := &taskCounts[task]
+		ctx.observe = histObserver(&cnt.custom)
+		if tr != nil {
+			cnt.startOff = time.Since(start)
+		}
 		// Buffer map output per key, preserving key first-seen order for
 		// deterministic combiner invocation order.
 		groups := newKeyGroups[K, V](len(splits[task]))
-		var cnt mapCounters
 		emit := func(k K, v V) {
 			groups.add(k, v)
 			cnt.out++
@@ -147,6 +203,9 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		for i := range splits[task] {
 			cnt.in++
 			job.Mapper.Map(ctx, splits[task][i], emit)
+		}
+		if tr != nil {
+			cnt.mapDone = time.Since(start)
 		}
 
 		buckets := make([]mapTaskOutput[K, V], numReducers)
@@ -165,6 +224,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 			// task RNG consumption is independent of map emission order.
 			names := groups.sortByName(job.keyString)
 			cctx := newTaskContext(job.Name, "combine", task, taskSeed(job.Seed, "combine", id))
+			cctx.observe = ctx.observe
 			for i, k := range groups.keyOrder {
 				vs := groups.lists[i]
 				cnt.combineIn += int64(len(vs))
@@ -181,6 +241,9 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 					buckets[p].pairs = append(buckets[p].pairs, Pair[K, V]{k, v})
 				}
 			}
+		}
+		if tr != nil {
+			cnt.combineDone = time.Since(start)
 		}
 		// Pipelined shuffle: this task's buckets leave the map worker as
 		// soon as they exist, overlapping the remaining map tasks. Without
@@ -199,14 +262,19 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 					return
 				}
 				cnt.shuffleBytes += int64(n)
+				cnt.bucketBytes.Observe(int64(n))
 			}
 		} else {
 			for r := range buckets {
-				cnt.shuffleBytes += bucketApproxSize(buckets[r].pairs)
+				n := bucketApproxSize(buckets[r].pairs)
+				cnt.shuffleBytes += n
+				cnt.bucketBytes.Observe(n)
 			}
 		}
+		if tr != nil {
+			cnt.sendDone = time.Since(start)
+		}
 		perTask[task] = buckets
-		taskCounts[task] = cnt
 	})
 	for _, err := range taskErrs {
 		if err != nil {
@@ -215,12 +283,15 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	}
 
 	mapDurations := make([]time.Duration, len(splits))
-	for t, cnt := range taskCounts {
+	for t := range taskCounts {
+		cnt := &taskCounts[t]
 		met.MapInputRecords += cnt.in
 		met.MapOutputRecords += cnt.out
 		met.CombineInputRecs += cnt.combineIn
 		met.CombineOutputRecs += cnt.combineOut
 		met.ShuffleBytes += cnt.shuffleBytes
+		met.BucketBytes.Merge(cnt.bucketBytes)
+		met.mergeCustom(cnt.custom)
 		base := c.Cost.TaskOverhead +
 			time.Duration(cnt.in)*c.Cost.MapPerRecord +
 			time.Duration(cnt.combineIn)*c.Cost.CombinePerRecord
@@ -230,8 +301,46 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		}
 		met.MapAttempts += int64(plan.attempts)
 		mapDurations[t] = time.Duration(float64(base) * plan.factor)
+		met.MapTaskNanos.Observe(int64(mapDurations[t]))
+		if tr != nil {
+			sent := cnt.out
+			if job.Combiner != nil {
+				sent = cnt.combineOut
+			}
+			for a := 0; a < plan.attempts; a++ {
+				s := Span{
+					Job: job.Name, Phase: PhaseMap, Task: t, Attempt: a + 1,
+					Failed:    a < plan.attempts-1,
+					Start:     cnt.startOff,
+					Simulated: time.Duration(float64(base) * plan.attemptFactor(a)),
+					Records:   cnt.in, Out: cnt.out,
+				}
+				if a == plan.attempts-1 {
+					s.Wall = cnt.mapDone - cnt.startOff
+				}
+				tr.Emit(s)
+			}
+			if job.Combiner != nil {
+				tr.Emit(Span{
+					Job: job.Name, Phase: PhaseCombine, Task: t,
+					Start: cnt.mapDone, Wall: cnt.combineDone - cnt.mapDone,
+					Records: cnt.combineIn, Out: cnt.combineOut,
+				})
+			}
+			tr.Emit(Span{
+				Job: job.Name, Phase: PhaseShuffleSend, Task: t,
+				Start: cnt.combineDone, Wall: cnt.sendDone - cnt.combineDone,
+				Records: sent, Bytes: cnt.shuffleBytes,
+			})
+		}
 	}
 	met.SimulatedMap = makespan(mapDurations, c.Slots())
+	if logDebug {
+		slog.Debug("mapreduce map phase done", "job", job.Name,
+			"tasks", met.MapTasks, "attempts", met.MapAttempts,
+			"records_in", met.MapInputRecords, "records_out", met.MapOutputRecords,
+			"simulated", met.SimulatedMap, "wall", time.Since(start))
+	}
 
 	// ---- Shuffle: parallel per-reducer receive, decode and group ----
 	// For each reducer, concatenate task buckets in task order, then group
@@ -244,21 +353,36 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	reducerNames := make([][]string, numReducers)
 	shuffleRecs := make([]int64, numReducers)
 	reducerErrs := make([]error, numReducers)
+	var recvStart, recvDur []time.Duration
+	var recvBytes []int64
+	if tr != nil {
+		recvStart = make([]time.Duration, numReducers)
+		recvDur = make([]time.Duration, numReducers)
+		recvBytes = make([]int64, numReducers)
+	}
 
 	runParallel(numReducers, c.workers(), func(r int) {
+		if tr != nil {
+			recvStart[r] = time.Since(start)
+		}
 		var parts [][]Pair[K, V] // task-ordered bucket list for this reducer
 		if transport != nil {
 			payloads, err := transport.Receive(r, len(splits))
 			if err != nil {
-				reducerErrs[r] = err
+				reducerErrs[r] = fmt.Errorf("reducer %d: %w", r, err)
 				return
 			}
 			parts = make([][]Pair[K, V], 0, len(payloads))
-			for _, payload := range payloads {
+			for task, payload := range payloads {
 				pairs, err := decodeBucket[K, V](payload)
 				if err != nil {
-					reducerErrs[r] = err
+					// Name the originating map task: payloads arrive in
+					// map-task order, so the slice index is the task id.
+					reducerErrs[r] = fmt.Errorf("reducer %d: bucket from map task %d: %w", r, task, err)
 					return
+				}
+				if tr != nil {
+					recvBytes[r] += int64(len(payload))
 				}
 				parts = append(parts, pairs)
 			}
@@ -266,6 +390,9 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 			parts = make([][]Pair[K, V], len(perTask))
 			for t := range perTask {
 				parts[t] = perTask[t][r].pairs
+				if tr != nil {
+					recvBytes[r] += bucketApproxSize(parts[t])
+				}
 			}
 		}
 		var total int
@@ -283,6 +410,9 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		// per-key reduce seeds without re-rendering.
 		reducerNames[r] = groups.sortByName(job.keyString)
 		reducerGroups[r] = groups
+		if tr != nil {
+			recvDur[r] = time.Since(start) - recvStart[r]
+		}
 	})
 	for _, err := range reducerErrs {
 		if err != nil {
@@ -291,13 +421,44 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	}
 	for r := 0; r < numReducers; r++ {
 		met.ShuffleRecords += shuffleRecs[r]
+		if tr != nil {
+			// Each recv leg carries its reducer's share of the simulated
+			// transfer, so the legs sum to SimulatedShuffle (exactly with
+			// the in-memory shuffle, minus framing overhead with a real
+			// Transport); the send legs carry bytes only, to avoid double
+			// counting.
+			tr.Emit(Span{
+				Job: job.Name, Phase: PhaseShuffleRecv, Task: r,
+				Start: recvStart[r], Wall: recvDur[r],
+				Simulated: time.Duration(recvBytes[r]) * c.Cost.ShufflePerByte,
+				Records:   shuffleRecs[r], Bytes: recvBytes[r],
+			})
+		}
 	}
 	met.SimulatedShuffle = time.Duration(met.ShuffleBytes) * c.Cost.ShufflePerByte
+	if logDebug {
+		slog.Debug("mapreduce shuffle done", "job", job.Name,
+			"records", met.ShuffleRecords, "bytes", met.ShuffleBytes,
+			"simulated", met.SimulatedShuffle, "wall", time.Since(start))
+	}
 
 	// ---- Reduce phase ----
 	outputs := make([][]O, numReducers)
 	reduceCounts := make([]int64, numReducers)
+	reduceCustom := make([]map[string]*Histogram, numReducers)
+	var keyStats []map[string]KeyStats
+	if perKey {
+		keyStats = make([]map[string]KeyStats, numReducers)
+	}
+	var redStart, redDur []time.Duration
+	if tr != nil {
+		redStart = make([]time.Duration, numReducers)
+		redDur = make([]time.Duration, numReducers)
+	}
 	runParallel(numReducers, c.workers(), func(r int) {
+		if tr != nil {
+			redStart[r] = time.Since(start)
+		}
 		var out []O
 		var inRecs int64
 		groups := reducerGroups[r]
@@ -306,16 +467,34 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		// makes the reseed a word store, where a fresh context per key paid
 		// three allocations. Reduce code only sees ctx during its call.
 		ctx := newTaskContext(job.Name, "reduce", r, 0)
+		ctx.observe = histObserver(&reduceCustom[r])
+		var perKeyStats map[string]KeyStats
+		if perKey {
+			perKeyStats = make(map[string]KeyStats, len(groups.keyOrder))
+		}
 		for i, k := range groups.keyOrder {
 			// Per-key RNG so the reduction of a key is reproducible no
 			// matter which reducer task it lands on.
 			ctx.Rand.Seed(taskSeed(job.Seed, "reduce", reducerNames[r][i]))
 			vs := groups.lists[i]
 			inRecs += int64(len(vs))
+			before := len(out)
 			job.Reducer.Reduce(ctx, k, vs, emit)
+			if perKey {
+				ks := perKeyStats[reducerNames[r][i]]
+				ks.Records += int64(len(vs))
+				ks.Output += int64(len(out) - before)
+				perKeyStats[reducerNames[r][i]] = ks
+			}
 		}
 		outputs[r] = out
 		reduceCounts[r] = inRecs
+		if perKey {
+			keyStats[r] = perKeyStats
+		}
+		if tr != nil {
+			redDur[r] = time.Since(start) - redStart[r]
+		}
 	})
 
 	reduceDurations := make([]time.Duration, numReducers)
@@ -324,6 +503,20 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		met.ReduceInputGroups += int64(len(reducerGroups[r].keyOrder))
 		met.ReduceInputRecs += reduceCounts[r]
 		met.OutputRecords += int64(len(outputs[r]))
+		met.mergeCustom(reduceCustom[r])
+		if perKey {
+			if met.PerKey == nil {
+				met.PerKey = make(map[string]KeyStats, len(keyStats[r]))
+			}
+			for key, ks := range keyStats[r] {
+				// Accumulate rather than assign: distinct keys can render
+				// to the same name under a lossy KeyString.
+				acc := met.PerKey[key]
+				acc.Records += ks.Records
+				acc.Output += ks.Output
+				met.PerKey[key] = acc
+			}
+		}
 		base := c.Cost.TaskOverhead + time.Duration(reduceCounts[r])*c.Cost.ReducePerRecord
 		plan, err := c.Faults.plan("reduce", r)
 		if err != nil {
@@ -331,10 +524,42 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		}
 		met.ReduceAttempts += int64(plan.attempts)
 		reduceDurations[r] = time.Duration(float64(base) * plan.factor)
+		met.ReduceTaskNanos.Observe(int64(reduceDurations[r]))
+		if tr != nil {
+			for a := 0; a < plan.attempts; a++ {
+				s := Span{
+					Job: job.Name, Phase: PhaseReduce, Task: r, Attempt: a + 1,
+					Failed:    a < plan.attempts-1,
+					Start:     redStart[r],
+					Simulated: time.Duration(float64(base) * plan.attemptFactor(a)),
+					Records:   reduceCounts[r],
+					Groups:    int64(len(reducerGroups[r].keyOrder)),
+					Out:       int64(len(outputs[r])),
+				}
+				if a == plan.attempts-1 {
+					s.Wall = redDur[r]
+				}
+				tr.Emit(s)
+			}
+		}
 		final = append(final, outputs[r]...)
 	}
 	met.SimulatedReduce = makespan(reduceDurations, c.Slots())
 	met.WallTime = time.Since(start)
+	if tr != nil {
+		tr.Emit(Span{
+			Job: job.Name, Phase: PhaseJob,
+			Wall: met.WallTime, Simulated: met.SimulatedTotal(),
+			Records: met.MapInputRecords, Out: met.OutputRecords,
+			Groups: met.ReduceInputGroups, Bytes: met.ShuffleBytes,
+		})
+	}
+	if logDebug {
+		slog.Debug("mapreduce job done", "job", job.Name,
+			"output_records", met.OutputRecords, "groups", met.ReduceInputGroups,
+			"attempts", met.MapAttempts+met.ReduceAttempts,
+			"simulated", met.SimulatedTotal(), "wall", met.WallTime)
+	}
 
 	return &Result[O]{Output: final, Metrics: met}, nil
 }

@@ -36,10 +36,21 @@ func (f *FaultModel) maxAttempts() int {
 // attemptPlan describes what the virtual clock should charge for one task:
 // the number of attempts made and the duration multiplier (sum over attempts
 // of their slowdown factors; failed attempts are assumed to run to the point
-// of failure, charged as full attempts).
+// of failure, charged as full attempts). factors keeps the per-attempt
+// slowdowns so the tracer can emit one span per attempt; it is nil for the
+// fault-free single-attempt fast path (read it through attemptFactor).
 type attemptPlan struct {
 	attempts int
 	factor   float64
+	factors  []float64
+}
+
+// attemptFactor is the slowdown of the 0-based i-th attempt.
+func (p attemptPlan) attemptFactor(i int) float64 {
+	if p.factors == nil {
+		return p.factor
+	}
+	return p.factors[i]
 }
 
 // plan rolls the fate of one task deterministically from the fault seed and
@@ -52,7 +63,9 @@ func (f *FaultModel) plan(phase string, task int) (attemptPlan, error) {
 	p := attemptPlan{}
 	for p.attempts < f.maxAttempts() {
 		p.attempts++
-		p.factor += f.slowdown(rng)
+		s := f.slowdown(rng)
+		p.factor += s
+		p.factors = append(p.factors, s)
 		if rng.Float64() >= f.TaskFailureProb {
 			return p, nil // this attempt succeeded
 		}

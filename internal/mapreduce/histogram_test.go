@@ -1,0 +1,92 @@
+package mapreduce
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.String() != "empty" || h.Quantile(0.5) != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	for _, v := range []int64{1, 2, 3, 100, 1000, 0, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 || h.Sum() != 1101 || h.Min() != -5 || h.Max() != 1000 {
+		t.Fatalf("summary wrong: %s", h.String())
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Fatalf("p100 = %d, want max 1000", q)
+	}
+	if q := h.Quantile(0); q != -5 {
+		t.Fatalf("p0 = %d, want min -5", q)
+	}
+	// p50 of {-5,0,1,2,3,100,1000} is 2; the bucket bound answer must be
+	// within a factor of 2 (bucket [2,3]).
+	if q := h.Quantile(0.5); q < 2 || q > 3 {
+		t.Fatalf("p50 = %d, want in [2,3]", q)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 5, 5, 128, 1 << 40, math.MaxInt64, -9} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, back) {
+		t.Fatalf("round trip changed histogram: %s vs %s", h, back)
+	}
+	if err := back.UnmarshalJSON([]byte(`{"count":1,"buckets":[{"le":5,"count":1}]}`)); err == nil {
+		t.Fatal("accepted a bucket bound that is not 2^i-1")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(4)
+	a.Observe(1000)
+	b.Observe(-1)
+	b.Observe(7)
+	a.Merge(b)
+	if a.Count() != 4 || a.Min() != -1 || a.Max() != 1000 || a.Sum() != 1010 {
+		t.Fatalf("merge wrong: %s", a.String())
+	}
+	var empty Histogram
+	a.Merge(empty)
+	if a.Count() != 4 {
+		t.Fatal("merging empty changed count")
+	}
+	empty.Merge(a)
+	if !reflect.DeepEqual(empty, a) {
+		t.Fatal("merge into empty lost state")
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	cases := []struct {
+		v  int64
+		le int64
+	}{
+		{0, 0}, {-3, 0}, {1, 1}, {2, 3}, {3, 3}, {4, 7}, {1023, 1023}, {1024, 2047},
+		{math.MaxInt64, math.MaxInt64},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		bs := h.Buckets()
+		if len(bs) != 1 || bs[0].Le != c.le || bs[0].Count != 1 {
+			t.Fatalf("Observe(%d) → buckets %v, want le=%d", c.v, bs, c.le)
+		}
+	}
+}

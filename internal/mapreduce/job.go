@@ -1,18 +1,3 @@
-// Package mapreduce implements an in-process MapReduce engine with the
-// semantics the paper's algorithms rely on: a map phase over input splits,
-// an optional per-map-task combiner, a hash-partitioned shuffle with byte
-// accounting, and a reduce phase. Tasks run concurrently on goroutines.
-//
-// Because the original evaluation ran on a Hadoop cluster whose wall-clock
-// behaviour we cannot reproduce on one machine, the engine additionally keeps
-// a *virtual clock*: a configurable cost model assigns each task a simulated
-// duration from its measured record and byte counts, and a scheduler computes
-// the makespan over the cluster's map/reduce slots. Counters (records,
-// groups, shuffled bytes) are always measured, never modelled.
-//
-// Determinism: every map task and every reduce key gets its own random
-// source, seeded from the job seed and the task index or key string, so a
-// job's output is reproducible regardless of goroutine interleaving.
 package mapreduce
 
 import (
@@ -121,7 +106,8 @@ func (j *Job[I, K, V, O]) partitionByName(k K, name string, n int) int {
 }
 
 // TaskContext carries per-task state into user map, combine and reduce code:
-// a deterministic random source and the task's identity.
+// a deterministic random source, the task's identity, and an Observe hook
+// feeding the job's custom histograms.
 type TaskContext struct {
 	// Rand is the task's private random source; user code must use it
 	// (not the global rand) so jobs are reproducible.
@@ -132,6 +118,22 @@ type TaskContext struct {
 	Phase string
 	// Task is the map-task index, or the reduce-task index.
 	Task int
+
+	// observe, when non-nil, records a named observation into the task's
+	// local histogram set; the engine folds those into Metrics.Custom.
+	observe func(name string, v int64)
+}
+
+// Observe records one value into the job's custom histogram named name,
+// surfaced after the run as Metrics.Custom[name]. The stratified combiner
+// uses it for intermediate reservoir sizes ("reservoir_size"); any map,
+// combine or reduce code may add its own series. Observations are folded
+// deterministically, and the call is a no-op outside an engine-run task.
+// It is intended for per-key or per-task observations, not per-record ones.
+func (ctx *TaskContext) Observe(name string, v int64) {
+	if ctx.observe != nil {
+		ctx.observe(name, v)
+	}
 }
 
 // taskSeed derives a deterministic per-task seed: the FNV-1a hash of

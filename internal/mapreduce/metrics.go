@@ -7,8 +7,11 @@ import (
 
 // Metrics reports what a job did. Record and byte counters are measured;
 // the *Simulated* durations come from the cluster's cost model and virtual
-// scheduler.
+// scheduler. Apart from WallTime — and the wall-clock spans an enabled
+// Tracer sees — every field is deterministic for a given job, seed and
+// cluster, so metrics can be compared across runs and machines.
 type Metrics struct {
+	// Job is the name of the job that produced these metrics.
 	Job string
 
 	MapTasks          int
@@ -38,6 +41,37 @@ type Metrics struct {
 
 	// WallTime is the real elapsed time of the in-process run.
 	WallTime time.Duration
+
+	// MapTaskNanos and ReduceTaskNanos are histograms of the simulated
+	// per-task durations (in nanoseconds, fault attempts and straggler
+	// factors included) — the per-phase latency distributions behind
+	// SimulatedMap and SimulatedReduce.
+	MapTaskNanos    Histogram
+	ReduceTaskNanos Histogram
+	// BucketBytes is a histogram of per-bucket shuffle sizes, one
+	// observation per (map task, reducer) pair: wire bytes with a Transport
+	// installed, approximated otherwise.
+	BucketBytes Histogram
+
+	// Custom holds histograms observed by user code through
+	// TaskContext.Observe — e.g. the stratified combiner's
+	// "reservoir_size" distribution of intermediate-sample sizes. Nil when
+	// nothing was observed.
+	Custom map[string]*Histogram
+
+	// PerKey counts reduce input and output per key (for the paper's jobs:
+	// per stratum). Collected only when the cluster asks for it
+	// (Cluster.PerKeyMetrics, or any enabled Tracer); nil otherwise, so
+	// wide key spaces cost nothing by default.
+	PerKey map[string]KeyStats
+}
+
+// KeyStats is the per-key (per-stratum) slice of a job's reduce phase.
+type KeyStats struct {
+	// Records is the number of shuffled values reduced under this key.
+	Records int64 `json:"records"`
+	// Output is the number of records the key's reduction emitted.
+	Output int64 `json:"output"`
 }
 
 // SimulatedTotal is the job's virtual makespan.
@@ -65,6 +99,29 @@ func (m *Metrics) Add(o Metrics) {
 	m.SimulatedShuffle += o.SimulatedShuffle
 	m.SimulatedReduce += o.SimulatedReduce
 	m.WallTime += o.WallTime
+	m.MapTaskNanos.Merge(o.MapTaskNanos)
+	m.ReduceTaskNanos.Merge(o.ReduceTaskNanos)
+	m.BucketBytes.Merge(o.BucketBytes)
+	for name, h := range o.Custom {
+		if m.Custom == nil {
+			m.Custom = make(map[string]*Histogram, len(o.Custom))
+		}
+		if mine := m.Custom[name]; mine != nil {
+			mine.Merge(*h)
+		} else {
+			cp := *h
+			m.Custom[name] = &cp
+		}
+	}
+	for key, ks := range o.PerKey {
+		if m.PerKey == nil {
+			m.PerKey = make(map[string]KeyStats, len(o.PerKey))
+		}
+		mine := m.PerKey[key]
+		mine.Records += ks.Records
+		mine.Output += ks.Output
+		m.PerKey[key] = mine
+	}
 }
 
 // String renders a one-line summary.

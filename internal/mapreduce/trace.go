@@ -1,0 +1,188 @@
+package mapreduce
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span phase names, in execution order. Every Run emits, per map task, one
+// PhaseMap span per attempt (so the number of map spans equals
+// Metrics.MapAttempts), then an optional PhaseCombine span and a
+// PhaseShuffleSend span; per reducer, a PhaseShuffleRecv span and one
+// PhaseReduce span per attempt; and finally a single PhaseJob span for the
+// whole run.
+const (
+	PhaseMap         = "map"
+	PhaseCombine     = "combine"
+	PhaseShuffleSend = "shuffle-send"
+	PhaseShuffleRecv = "shuffle-recv"
+	PhaseReduce      = "reduce"
+	PhaseJob         = "job"
+)
+
+// Span is one traced unit of engine work: a task attempt, a per-task combine
+// or shuffle leg, or the whole job. Wall durations are measured on the
+// machine running the job; Simulated durations come from the cluster's cost
+// model and fault plan, so a span file carries both the real execution
+// profile and the virtual cluster's view (the paper's per-phase breakdown).
+type Span struct {
+	// Job is the job name the span belongs to.
+	Job string `json:"job"`
+	// Phase is one of the Phase* constants.
+	Phase string `json:"phase"`
+	// Task is the map-task or reduce-task index (0 for PhaseJob).
+	Task int `json:"task"`
+	// Attempt is the 1-based attempt number for map/reduce spans; attempts
+	// beyond the first are re-executions injected by the FaultModel.
+	Attempt int `json:"attempt,omitempty"`
+	// Failed marks an attempt the FaultModel failed; the engine re-executed
+	// the task, so a Failed span is always followed by another attempt.
+	Failed bool `json:"failed,omitempty"`
+	// Start is the span's wall-clock start, as an offset from the start of
+	// Run (only meaningful relative to other spans of the same run).
+	Start time.Duration `json:"start_ns"`
+	// Wall is the measured duration. Fault-injected re-attempts did not
+	// really run, so only the final (successful) attempt carries it.
+	Wall time.Duration `json:"wall_ns,omitempty"`
+	// Simulated is the virtual-clock charge for this span, including the
+	// attempt's straggler factor.
+	Simulated time.Duration `json:"sim_ns,omitempty"`
+	// Records is the number of input records the span consumed.
+	Records int64 `json:"records,omitempty"`
+	// Out is the number of records the span produced.
+	Out int64 `json:"out,omitempty"`
+	// Groups is the number of distinct keys a reduce span processed.
+	Groups int64 `json:"groups,omitempty"`
+	// Bytes is the byte volume a shuffle span moved (wire bytes with a
+	// Transport installed, approximated otherwise).
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// Tracer receives spans from the engine. Implementations must be safe for
+// concurrent Emit calls; the engine currently emits from its serial
+// accounting sections, in deterministic order, but that is not part of the
+// contract. A nil Tracer on the Cluster — or one whose Enabled returns false
+// — keeps the hot path free of all timing and span work.
+type Tracer interface {
+	// Enabled reports whether spans are wanted; the engine checks it once
+	// per Run and skips all span assembly (including wall-clock reads) when
+	// it is false.
+	Enabled() bool
+	// Emit delivers one finished span.
+	Emit(Span)
+}
+
+// NopTracer is a Tracer that records nothing; it behaves exactly like a nil
+// Cluster.Tracer and exists so callers can thread a Tracer value
+// unconditionally.
+type NopTracer struct{}
+
+// Enabled reports false.
+func (NopTracer) Enabled() bool { return false }
+
+// Emit discards the span.
+func (NopTracer) Emit(Span) {}
+
+// MemTracer collects spans in memory, for tests and in-process reporting.
+type MemTracer struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewMemTracer returns an empty in-memory tracer.
+func NewMemTracer() *MemTracer { return &MemTracer{} }
+
+// Enabled reports true.
+func (t *MemTracer) Enabled() bool { return true }
+
+// Emit appends the span.
+func (t *MemTracer) Emit(s Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of everything emitted so far.
+func (t *MemTracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Reset discards all collected spans.
+func (t *MemTracer) Reset() {
+	t.mu.Lock()
+	t.spans = nil
+	t.mu.Unlock()
+}
+
+// JSONLTracer writes one JSON object per span to an io.Writer — the span
+// file format `strata trace` reads back. Writes are buffered; call Close (or
+// Flush) before reading the file.
+type JSONLTracer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLTracer returns a tracer writing JSON lines to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	bw := bufio.NewWriter(w)
+	return &JSONLTracer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Enabled reports true.
+func (t *JSONLTracer) Enabled() bool { return true }
+
+// Emit encodes the span as one JSON line. The first encoding error sticks
+// and is reported by Close.
+func (t *JSONLTracer) Emit(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(s)
+}
+
+// Flush forces buffered spans to the underlying writer.
+func (t *JSONLTracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.bw.Flush()
+}
+
+// Close flushes and returns the first error seen. It does not close the
+// underlying writer.
+func (t *JSONLTracer) Close() error {
+	if err := t.Flush(); err != nil {
+		return fmt.Errorf("mapreduce: writing span file: %w", err)
+	}
+	return nil
+}
+
+// ReadSpans parses a JSON-lines span file produced by JSONLTracer.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var spans []Span
+	dec := json.NewDecoder(r)
+	for {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			if err == io.EOF {
+				return spans, nil
+			}
+			return nil, fmt.Errorf("mapreduce: span file line %d: %w", len(spans)+1, err)
+		}
+		spans = append(spans, s)
+	}
+}

@@ -1,0 +1,366 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func tracedCluster(tr Tracer) *Cluster {
+	c := NewCluster(3)
+	c.Tracer = tr
+	return c
+}
+
+// countPhase tallies spans by phase.
+func countPhase(spans []Span) map[string]int {
+	out := make(map[string]int)
+	for _, s := range spans {
+		out[s.Phase]++
+	}
+	return out
+}
+
+// TestTracedSpansMatchAttempts is the acceptance check: under injected
+// faults, the engine emits one map/reduce span per attempt, so the span
+// counts reproduce Metrics.MapAttempts and Metrics.ReduceAttempts exactly.
+func TestTracedSpansMatchAttempts(t *testing.T) {
+	tr := NewMemTracer()
+	c := tracedCluster(tr)
+	c.Faults = &FaultModel{TaskFailureProb: 0.4, StragglerStdDev: 0.3, Seed: 11}
+	res, err := Run(c, wordCountJob(5, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	byPhase := countPhase(spans)
+	if got, want := int64(byPhase[PhaseMap]), res.Metrics.MapAttempts; got != want {
+		t.Fatalf("map spans %d, MapAttempts %d", got, want)
+	}
+	if got, want := int64(byPhase[PhaseReduce]), res.Metrics.ReduceAttempts; got != want {
+		t.Fatalf("reduce spans %d, ReduceAttempts %d", got, want)
+	}
+	if byPhase[PhaseCombine] != res.Metrics.MapTasks {
+		t.Fatalf("combine spans %d, map tasks %d", byPhase[PhaseCombine], res.Metrics.MapTasks)
+	}
+	if byPhase[PhaseShuffleSend] != res.Metrics.MapTasks ||
+		byPhase[PhaseShuffleRecv] != res.Metrics.ReduceTasks {
+		t.Fatalf("shuffle spans %d send / %d recv, want %d / %d",
+			byPhase[PhaseShuffleSend], byPhase[PhaseShuffleRecv],
+			res.Metrics.MapTasks, res.Metrics.ReduceTasks)
+	}
+	if byPhase[PhaseJob] != 1 {
+		t.Fatalf("job spans %d, want 1", byPhase[PhaseJob])
+	}
+	// Every non-final attempt is marked Failed and carries no wall time;
+	// every final attempt succeeded.
+	attempts := make(map[int]int)
+	for _, s := range spans {
+		if s.Phase != PhaseMap {
+			continue
+		}
+		attempts[s.Task]++
+		if s.Failed && s.Wall != 0 {
+			t.Fatalf("failed attempt carries wall time: %+v", s)
+		}
+		if s.Attempt != attempts[s.Task] {
+			t.Fatalf("attempt numbers of task %d not contiguous: %+v", s.Task, s)
+		}
+	}
+	for task, n := range attempts {
+		if n < 1 {
+			t.Fatalf("task %d has no attempts", task)
+		}
+	}
+	// Span record counts agree with the phase totals.
+	var mapRecs, redRecs int64
+	for _, s := range spans {
+		if s.Phase == PhaseMap && !s.Failed {
+			mapRecs += s.Records
+		}
+		if s.Phase == PhaseReduce && !s.Failed {
+			redRecs += s.Records
+		}
+	}
+	if mapRecs != res.Metrics.MapInputRecords {
+		t.Fatalf("map span records %d, metrics %d", mapRecs, res.Metrics.MapInputRecords)
+	}
+	if redRecs != res.Metrics.ReduceInputRecs {
+		t.Fatalf("reduce span records %d, metrics %d", redRecs, res.Metrics.ReduceInputRecs)
+	}
+}
+
+// TestTracerOffMatchesOn: tracing must not change output or deterministic
+// metrics, and a NopTracer must behave like no tracer at all.
+func TestTracerOffMatchesOn(t *testing.T) {
+	plain, err := Run(NewCluster(3), wordCountJob(2, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nop, err := Run(tracedCluster(NopTracer{}), wordCountJob(2, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Run(tracedCluster(NewMemTracer()), wordCountJob(2, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedWC(plain.Output), sortedWC(nop.Output)) ||
+		!reflect.DeepEqual(sortedWC(plain.Output), sortedWC(traced.Output)) {
+		t.Fatal("tracer changed job output")
+	}
+	if nop.Metrics.PerKey != nil {
+		t.Fatal("NopTracer triggered per-key collection")
+	}
+	if traced.Metrics.PerKey == nil {
+		t.Fatal("enabled tracer did not trigger per-key collection")
+	}
+	if plain.Metrics.ShuffleBytes != traced.Metrics.ShuffleBytes ||
+		plain.Metrics.MapOutputRecords != traced.Metrics.MapOutputRecords {
+		t.Fatal("tracer changed deterministic counters")
+	}
+}
+
+func TestJSONLTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	res, err := Run(tracedCluster(tr), wordCountJob(3, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPhase := countPhase(spans)
+	if int64(byPhase[PhaseMap]) != res.Metrics.MapAttempts || byPhase[PhaseJob] != 1 {
+		t.Fatalf("span file lost spans: %v", byPhase)
+	}
+	for _, s := range spans {
+		if s.Job != "wordcount" {
+			t.Fatalf("span lost job name: %+v", s)
+		}
+	}
+}
+
+// TestPerKeyMetrics: the per-stratum counters must reproduce the word counts.
+func TestPerKeyMetrics(t *testing.T) {
+	c := NewCluster(3)
+	c.PerKeyMetrics = true
+	res, err := Run(c, wordCountJob(1, false), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]KeyStats{
+		"a": {Records: 3, Output: 1},
+		"b": {Records: 3, Output: 1},
+		"c": {Records: 4, Output: 1},
+	}
+	if !reflect.DeepEqual(res.Metrics.PerKey, want) {
+		t.Fatalf("PerKey = %v, want %v", res.Metrics.PerKey, want)
+	}
+}
+
+// TestObserveFeedsCustomHistograms: TaskContext.Observe surfaces user
+// histograms on Metrics.Custom, folded across tasks.
+func TestObserveFeedsCustomHistograms(t *testing.T) {
+	job := wordCountJob(1, true)
+	base := job.Combiner
+	job.Combiner = CombinerFunc[string, int64](func(ctx *TaskContext, k string, vs []int64, emit func(int64)) {
+		ctx.Observe("combine_group_size", int64(len(vs)))
+		base.Combine(ctx, k, vs, emit)
+	})
+	res, err := Run(NewCluster(3), job, wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Metrics.Custom["combine_group_size"]
+	if h == nil {
+		t.Fatal("custom histogram missing")
+	}
+	if h.Count() == 0 || h.Sum() != res.Metrics.CombineInputRecs {
+		t.Fatalf("histogram %v does not cover the %d combine inputs", h, res.Metrics.CombineInputRecs)
+	}
+}
+
+// TestMetricsHistogramsPopulated: the always-on engine histograms cover every
+// task and bucket.
+func TestMetricsHistogramsPopulated(t *testing.T) {
+	res, err := Run(NewCluster(3), wordCountJob(1, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.MapTaskNanos.Count() != int64(m.MapTasks) {
+		t.Fatalf("MapTaskNanos n=%d, want %d", m.MapTaskNanos.Count(), m.MapTasks)
+	}
+	if m.ReduceTaskNanos.Count() != int64(m.ReduceTasks) {
+		t.Fatalf("ReduceTaskNanos n=%d, want %d", m.ReduceTaskNanos.Count(), m.ReduceTasks)
+	}
+	if want := int64(m.MapTasks * m.ReduceTasks); m.BucketBytes.Count() != want {
+		t.Fatalf("BucketBytes n=%d, want %d", m.BucketBytes.Count(), want)
+	}
+	if m.BucketBytes.Sum() != m.ShuffleBytes {
+		t.Fatalf("BucketBytes sum %d != ShuffleBytes %d", m.BucketBytes.Sum(), m.ShuffleBytes)
+	}
+}
+
+// TestMetricsJSONRoundTrip: Metrics — histograms, custom series and per-key
+// counters included — survives a JSON round trip unchanged.
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	c := tracedCluster(NewMemTracer())
+	c.Faults = &FaultModel{TaskFailureProb: 0.3, Seed: 7}
+	job := wordCountJob(4, true)
+	base := job.Combiner
+	job.Combiner = CombinerFunc[string, int64](func(ctx *TaskContext, k string, vs []int64, emit func(int64)) {
+		ctx.Observe("reservoir_size", int64(len(vs)))
+		base.Combine(ctx, k, vs, emit)
+	})
+	res, err := Run(c, job, wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.Metrics.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Metrics
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Metrics, back) {
+		t.Fatalf("metrics changed across JSON round trip:\n got %+v\nwant %+v", back, res.Metrics)
+	}
+}
+
+// TestMetricsAttemptAccounting: attempts on a fault-injected run exceed the
+// task counts and match between a fresh run and an accumulated one.
+func TestMetricsAttemptAccounting(t *testing.T) {
+	c := NewCluster(4)
+	c.Faults = &FaultModel{TaskFailureProb: 0.5, MaxAttempts: 6, Seed: 21}
+	res, err := Run(c, wordCountJob(9, true), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.MapAttempts <= int64(m.MapTasks) && m.ReduceAttempts <= int64(m.ReduceTasks) {
+		t.Fatalf("p=0.5 injected no retries: map %d/%d, reduce %d/%d",
+			m.MapAttempts, m.MapTasks, m.ReduceAttempts, m.ReduceTasks)
+	}
+	var sum Metrics
+	sum.Add(m)
+	sum.Add(m)
+	if sum.MapAttempts != 2*m.MapAttempts || sum.ReduceAttempts != 2*m.ReduceAttempts {
+		t.Fatal("Add lost attempt counts")
+	}
+	if sum.MapTaskNanos.Count() != 2*m.MapTaskNanos.Count() {
+		t.Fatal("Add lost histogram observations")
+	}
+}
+
+func TestPrometheusExport(t *testing.T) {
+	c := tracedCluster(NewMemTracer())
+	res, err := Run(c, wordCountJob(1, false), wcSplits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`strata_map_input_records_total{job="wordcount"} 4`,
+		`strata_map_output_records_total{job="wordcount"} 10`,
+		`strata_shuffle_records_total{job="wordcount"}`,
+		`# TYPE strata_map_task_duration_nanoseconds histogram`,
+		`strata_map_task_duration_nanoseconds_bucket{job="wordcount",le="+Inf"} 3`,
+		`strata_shuffle_bucket_bytes_count{job="wordcount"} 9`,
+		`strata_key_reduce_records_total{job="wordcount",key="a"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q in:\n%s", want, text)
+		}
+	}
+	// Deterministic output: two renders are identical.
+	var again bytes.Buffer
+	if err := res.Metrics.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != text {
+		t.Fatal("prometheus output not deterministic")
+	}
+}
+
+// corruptTransport wraps a Transport and corrupts the payloads sent by one
+// map task, to prove decode failures name the originating task.
+type corruptTransport struct {
+	Transport
+	task int
+}
+
+func (c *corruptTransport) Send(task, reducer int, payload []byte) (int, error) {
+	if task == c.task && len(payload) > 0 {
+		payload = append([]byte("garbage:"), payload...)
+	}
+	return c.Transport.Send(task, reducer, payload)
+}
+
+// TestDecodeErrorNamesOriginatingTask is the transport bugfix regression: a
+// reducer that fails to decode a bucket must say which map task sent it.
+func TestDecodeErrorNamesOriginatingTask(t *testing.T) {
+	c := NewCluster(3)
+	c.NewTransport = func() (Transport, error) {
+		return &corruptTransport{Transport: NewMemTransport(), task: 1}, nil
+	}
+	_, err := Run(c, wordCountJob(1, true), wcSplits)
+	if err == nil {
+		t.Fatal("corrupted shuffle payload went unnoticed")
+	}
+	if !strings.Contains(err.Error(), "map task 1") {
+		t.Fatalf("error does not name the originating map task: %v", err)
+	}
+}
+
+// TestMemTransportNamesMissingTasks is the other half of the bugfix: a
+// bucket shortfall lists exactly the absent map tasks.
+func TestMemTransportNamesMissingTasks(t *testing.T) {
+	tr := NewMemTransport()
+	for _, task := range []int{0, 2} {
+		if _, err := tr.Send(task, 7, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := tr.Receive(7, 4)
+	if err == nil {
+		t.Fatal("want shortfall error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "reducer 7") || !strings.Contains(msg, "[1 3]") {
+		t.Fatalf("shortfall error does not name reducer and missing tasks: %v", err)
+	}
+}
+
+func TestPromEscapeControlBytes(t *testing.T) {
+	m := Metrics{Job: "j", PerKey: map[string]KeyStats{
+		"\x00\x01ok": {Records: 2, Output: 1},
+	}}
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if want := `key="\\x00\\x01ok"`; !strings.Contains(out, want) {
+		t.Fatalf("control bytes not escaped: output lacks %s", want)
+	}
+	for i := 0; i < len(out); i++ {
+		if c := out[i]; c != '\n' && (c < 0x20 || c == 0x7f) {
+			t.Fatalf("raw control byte %#x leaked at offset %d", c, i)
+		}
+	}
+}

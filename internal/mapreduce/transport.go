@@ -61,7 +61,16 @@ func (m *memTransport) Receive(reducer, expect int) ([][]byte, error) {
 	defer m.mu.Unlock()
 	got := m.buckets[reducer]
 	if len(got) != expect {
-		return nil, fmt.Errorf("mapreduce: reducer %d received %d buckets, want %d", reducer, len(got), expect)
+		// Name the map tasks whose buckets never arrived: "got 3, want 4"
+		// left the operator guessing which sender failed.
+		var missing []int
+		for t := 0; t < expect; t++ {
+			if _, ok := got[t]; !ok {
+				missing = append(missing, t)
+			}
+		}
+		return nil, fmt.Errorf("mapreduce: reducer %d received %d of %d buckets, missing map tasks %v",
+			reducer, len(got), expect, missing)
 	}
 	tasks := make([]int, 0, len(got))
 	for t := range got {
@@ -142,16 +151,23 @@ func (t *TCPTransport) serve(conn net.Conn) {
 	for {
 		if _, err := io.ReadFull(conn, header); err != nil {
 			if err != io.EOF {
-				t.fail(err)
+				t.fail(fmt.Errorf("mapreduce: shuffle frame header: %w", err))
 			}
 			return
 		}
 		task := int(int32(binary.BigEndian.Uint32(header[0:])))
 		reducer := int(int32(binary.BigEndian.Uint32(header[4:])))
 		size := int(int32(binary.BigEndian.Uint32(header[8:])))
+		if size < 0 {
+			t.fail(fmt.Errorf("mapreduce: shuffle frame from map task %d for reducer %d: negative payload size %d",
+				task, reducer, size))
+			return
+		}
 		payload := make([]byte, size)
 		if _, err := io.ReadFull(conn, payload); err != nil {
-			t.fail(err)
+			// The header identified the sender, so a truncated payload can
+			// name the originating map task instead of losing it.
+			t.fail(fmt.Errorf("mapreduce: shuffle payload from map task %d for reducer %d: %w", task, reducer, err))
 			return
 		}
 		t.mu.Lock()

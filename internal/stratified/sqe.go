@@ -91,6 +91,9 @@ func RunSQE(c *mapreduce.Cluster, q *query.SSD, schema *dataset.Schema, splits [
 // combiner builds the MR-SQE combine function: it locally selects an
 // intermediate sample of capacity freq(key) using Algorithm R over the map
 // task's tuples for that key and tags it with the number of tuples it saw.
+// Each emitted intermediate sample's size is observed into the job's
+// "reservoir_size" histogram (Metrics.Custom) — the paper's
+// intermediate-sample-size measurement.
 func combiner[K comparable](freq func(K) int) mapreduce.Combiner[K, WeightedTuples] {
 	return mapreduce.CombinerFunc[K, WeightedTuples](
 		func(ctx *mapreduce.TaskContext, k K, vs []WeightedTuples, emit func(WeightedTuples)) {
@@ -113,12 +116,16 @@ func combiner[K comparable](freq func(K) int) mapreduce.Combiner[K, WeightedTupl
 				for _, w := range vs {
 					res.AddSlice(w.Sample)
 				}
-				emit(WeightedTuples{Sample: res.Sample(), N: n})
+				sample := res.Sample()
+				ctx.Observe("reservoir_size", int64(len(sample)))
+				emit(WeightedTuples{Sample: sample, N: n})
 				return
 			}
 			// Some parts were already subsampled (a combiner re-run):
 			// merge them without bias via the unified sampler.
-			emit(WeightedTuples{Sample: sampling.UnifiedSample(vs, target, ctx.Rand), N: n})
+			sample := sampling.UnifiedSample(vs, target, ctx.Rand)
+			ctx.Observe("reservoir_size", int64(len(sample)))
+			emit(WeightedTuples{Sample: sample, N: n})
 		})
 }
 
