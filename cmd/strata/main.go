@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	strata [-v] [-log level] [-trace spans.jsonl] [-debug-addr addr] <command> ...
+//	strata [-v] [-log level] [-trace spans.jsonl] [-debug-addr addr] [-progress]
+//	       <command> ...
 //
 //	strata generate    -n 10000 [-uniform] [-graph] [-seed 1] [-stats] [-csv]
 //	strata sample      -n 10000 -query "nop >= 100 : 5; nop < 100 : 10" [-slaves 4]
 //	                   [-layout contiguous] [-naive] [-estimate ndcc]
+//	strata audit       -n 10000 -query "nop >= 100 : 5; nop < 100 : 10" [-runs 30]
+//	                   [-alpha 1e-4] [-estimate nop] [-cps [-group Small]] [-json]
 //	strata mssd        -n 10000 -group Small -sample 100 [-runs 5] [-ip] [-explain]
 //	                   [-waves 3]
 //	strata query       -design design.json [-data pop.csv] [-ip] [-out answers.csv]
@@ -20,8 +23,10 @@
 //
 // The global flags configure observability for every command: -v / -log set
 // the structured-log level, -trace streams one JSON span per engine task to a
-// file ("strata trace" renders it), and -debug-addr serves /metrics
-// (Prometheus text), /debug/pprof and /debug/vars while the command runs.
+// file ("strata trace" renders it), -progress prints a live per-phase task
+// progress line, and -debug-addr serves /metrics (Prometheus text), /progress
+// (live JSON job progress), /quality (the latest audit report as Prometheus
+// gauges), /debug/pprof and /debug/vars while the command runs.
 package main
 
 import (
@@ -51,6 +56,8 @@ func main() {
 		err = cmdMSSD(args[1:])
 	case "query":
 		err = cmdQuery(args[1:])
+	case "audit":
+		err = cmdAudit(args[1:])
 	case "trace":
 		err = cmdTrace(args[1:])
 	case "experiments":
@@ -79,11 +86,12 @@ usage: strata [global flags] <command> [command flags]
 commands:
   generate     generate a synthetic author population and print statistics
   sample       answer a single SSD query (MR-SQE) over a generated population
+  audit        grade sampling quality: per-stratum fill, inclusion bias, costs
   mssd         answer a generated multi-survey query group (MR-MQE vs MR-CPS)
   query        run an MSSD design from a JSON file over a CSV or generated population
   trace        summarize a span file written with -trace
   experiments  regenerate the paper's tables and figures
 
-global flags: -v, -log <level>, -trace <spans.jsonl>, -debug-addr <addr>
+global flags: -v, -log <level>, -trace <spans.jsonl>, -debug-addr <addr>, -progress
 run "strata <command> -h" for command flags.`)
 }

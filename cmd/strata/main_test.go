@@ -37,6 +37,51 @@ func TestCmdSample(t *testing.T) {
 	}
 }
 
+func TestCmdAudit(t *testing.T) {
+	err := cmdAudit([]string{"-n", "2000", "-query", "nop >= 30 : 3 ; nop < 30 : 5",
+		"-runs", "5", "-slaves", "2", "-estimate", "nop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The report must have been published for /quality.
+	globalObs.mu.Lock()
+	rep := globalObs.quality
+	custom := globalObs.metrics.Custom
+	globalObs.mu.Unlock()
+	if rep == nil || rep.Fill == nil || rep.Bias == nil || rep.Estimator == nil {
+		t.Fatalf("published quality report incomplete: %+v", rep)
+	}
+	if rep.Bias.Runs != 5 {
+		t.Fatalf("bias runs = %d", rep.Bias.Runs)
+	}
+	if custom["audit_fill_permille"] == nil {
+		t.Fatal("audit histograms not folded into process metrics")
+	}
+	if err := cmdAudit([]string{"-n", "100", "-query", "broken ::"}); err == nil {
+		t.Fatal("want parse error")
+	}
+	if err := cmdAudit([]string{"-n", "500", "-cps", "-group", "Nope", "-runs", "2", "-slaves", "2"}); err == nil {
+		t.Fatal("want unknown-group error")
+	}
+}
+
+func TestCmdAuditCPS(t *testing.T) {
+	err := cmdAudit([]string{"-n", "2500", "-query", "nop >= 30 : 3 ; nop < 30 : 5",
+		"-runs", "3", "-slaves", "2", "-cps", "-group", "Small", "-sample", "24", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalObs.mu.Lock()
+	rep := globalObs.quality
+	globalObs.mu.Unlock()
+	if rep == nil || rep.CPS == nil {
+		t.Fatal("CPS section missing from published report")
+	}
+	if rep.CPS.CostRatio() < 1-1e-9 {
+		t.Fatalf("realized cost below LP bound: %v", rep.CPS.CostRatio())
+	}
+}
+
 func TestCmdMSSD(t *testing.T) {
 	err := cmdMSSD([]string{"-n", "3000", "-group", "Small", "-sample", "32", "-runs", "1", "-slaves", "2"})
 	if err != nil {

@@ -11,25 +11,32 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/audit"
 	"repro/internal/mapreduce"
 )
 
 // obs is the process-wide observability state configured by the global flags
 // (strata [global flags] <command> ...). It owns the span file tracer, the
-// optional debug HTTP server, and the metrics accumulated across every job
-// the process runs.
+// live progress tracker, the optional debug HTTP server, and the metrics
+// accumulated across every job the process runs.
 type obs struct {
 	verbose   bool
 	logLevel  string
 	tracePath string
 	debugAddr string
+	progress  bool
 
 	tracer    *mapreduce.JSONLTracer
 	traceFile *os.File
+	tracker   *audit.Tracker
+	stopTick  chan struct{}
+	tickDone  chan struct{}
 
 	mu      sync.Mutex
 	metrics mapreduce.Metrics
+	quality *audit.Report
 }
 
 var globalObs obs
@@ -46,7 +53,8 @@ func parseGlobalFlags(args []string) ([]string, error) {
 	fs.BoolVar(&globalObs.verbose, "v", false, "debug logging (shorthand for -log debug)")
 	fs.StringVar(&globalObs.logLevel, "log", "", "log level: debug, info, warn or error")
 	fs.StringVar(&globalObs.tracePath, "trace", "", "write engine spans to this JSON-lines `file` (read back with \"strata trace\")")
-	fs.StringVar(&globalObs.debugAddr, "debug-addr", "", "serve /metrics, /debug/pprof and /debug/vars on this `addr` (e.g. localhost:6060)")
+	fs.StringVar(&globalObs.debugAddr, "debug-addr", "", "serve /metrics, /progress, /quality, /debug/pprof and /debug/vars on this `addr` (e.g. localhost:6060)")
+	fs.BoolVar(&globalObs.progress, "progress", false, "print a live per-phase progress line to stderr while jobs run")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -80,12 +88,40 @@ func (o *obs) setup() error {
 		o.tracer = mapreduce.NewJSONLTracer(f)
 	}
 
+	// The tracker consumes the span stream whenever someone can watch it:
+	// the -progress ticker or the debug server's /progress endpoint.
+	if o.progress || o.debugAddr != "" {
+		o.tracker = audit.NewTracker()
+	}
 	if o.debugAddr != "" {
 		if err := o.serveDebug(); err != nil {
 			return err
 		}
 	}
+	if o.progress {
+		o.startTicker()
+	}
 	return nil
+}
+
+// startTicker prints the tracker's one-line summary to stderr a few times a
+// second, carriage-return style, until close().
+func (o *obs) startTicker() {
+	o.stopTick = make(chan struct{})
+	o.tickDone = make(chan struct{})
+	go func() {
+		defer close(o.tickDone)
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-o.stopTick:
+				return
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "\r\033[K%s", o.tracker.Line())
+			}
+		}
+	}()
 }
 
 // serveDebug starts the debug HTTP server: pprof (via the blank import),
@@ -104,12 +140,26 @@ func (o *obs) serveDebug() error {
 			slog.Error("writing /metrics", "err", err)
 		}
 	})
+	http.Handle("/progress", o.tracker)
+	http.HandleFunc("/quality", func(w http.ResponseWriter, _ *http.Request) {
+		o.mu.Lock()
+		rep := o.quality
+		o.mu.Unlock()
+		if rep == nil {
+			http.Error(w, "no quality report yet — run \"strata audit\"", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := rep.WritePrometheus(w); err != nil {
+			slog.Error("writing /quality", "err", err)
+		}
+	})
 	ln, err := net.Listen("tcp", o.debugAddr)
 	if err != nil {
 		return fmt.Errorf("debug server: %w", err)
 	}
 	slog.Info("debug server listening", "addr", ln.Addr().String(),
-		"endpoints", "/metrics /debug/pprof /debug/vars")
+		"endpoints", "/metrics /progress /quality /debug/pprof /debug/vars")
 	go func() {
 		if err := http.Serve(ln, nil); err != nil {
 			slog.Error("debug server", "err", err)
@@ -118,8 +168,13 @@ func (o *obs) serveDebug() error {
 	return nil
 }
 
-// close flushes the span file, if any.
+// close stops the progress ticker and flushes the span file, if any.
 func (o *obs) close() error {
+	if o.stopTick != nil {
+		close(o.stopTick)
+		<-o.tickDone
+		fmt.Fprintf(os.Stderr, "\r\033[K%s\n", o.tracker.Line())
+	}
 	if o.tracer == nil {
 		return nil
 	}
@@ -152,12 +207,18 @@ func (o *obs) snapshot() mapreduce.Metrics {
 }
 
 // newCluster builds a cluster wired to the process observability state: the
-// span tracer when -trace is set, and per-key metrics whenever someone is
-// looking (a tracer or a debug server).
+// span tracer when -trace is set, the progress tracker when -progress or
+// -debug-addr is set (both at once fan out through a TeeTracer), and per-key
+// metrics whenever someone is looking.
 func newCluster(slaves int) *mapreduce.Cluster {
 	c := mapreduce.NewCluster(slaves)
-	if globalObs.tracer != nil {
+	switch {
+	case globalObs.tracer != nil && globalObs.tracker != nil:
+		c.Tracer = mapreduce.NewTeeTracer(globalObs.tracer, globalObs.tracker)
+	case globalObs.tracer != nil:
 		c.Tracer = globalObs.tracer
+	case globalObs.tracker != nil:
+		c.Tracer = globalObs.tracker
 	}
 	if globalObs.tracer != nil || globalObs.debugAddr != "" {
 		c.PerKeyMetrics = true
@@ -167,3 +228,29 @@ func newCluster(slaves int) *mapreduce.Cluster {
 
 // recordMetrics is the subcommand-facing wrapper around globalObs.record.
 func recordMetrics(m mapreduce.Metrics) { globalObs.record(m) }
+
+// recordQuality publishes a finished audit report: /quality serves it, and
+// its histogram series fold into the accumulated job metrics so they travel
+// the /metrics Prometheus path too.
+func recordQuality(rep *audit.Report) {
+	globalObs.mu.Lock()
+	globalObs.quality = rep
+	globalObs.metrics.Custom = mergeCustom(globalObs.metrics.Custom, rep.Histograms())
+	globalObs.mu.Unlock()
+}
+
+func mergeCustom(dst, src map[string]*mapreduce.Histogram) map[string]*mapreduce.Histogram {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]*mapreduce.Histogram, len(src))
+	}
+	for k, h := range src {
+		if dst[k] == nil {
+			dst[k] = &mapreduce.Histogram{}
+		}
+		dst[k].Merge(*h)
+	}
+	return dst
+}

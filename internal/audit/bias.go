@@ -1,0 +1,189 @@
+package audit
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/stratified"
+)
+
+// BiasStratum is the bias verdict for one stratum: the chi-square test of
+// "every member of σ_k(R) is included equally often" over repeated runs.
+type BiasStratum struct {
+	// Stratum is the stratum's display label.
+	Stratum string `json:"stratum"`
+	// Members is |σ_k(R)|, the number of test cells.
+	Members int `json:"members"`
+	// Required is the per-run sample frequency f_k.
+	Required int `json:"required"`
+	// Chi2 is the statistic Σ (obs−exp)²/exp over member inclusion counts.
+	Chi2 float64 `json:"chi2"`
+	// P is the probability of a statistic at least as extreme under the
+	// unbiasedness null; a tiny P (say < 1e-4) flags a biased sampler.
+	P float64 `json:"p"`
+	// Inclusions is the distribution of per-member inclusion counts — under
+	// the null, hypergeometric-thin around runs·f_k/N_k.
+	Inclusions mapreduce.Histogram `json:"inclusions"`
+}
+
+// BiasReport is the inclusion-uniformity audit of a sampler over repeated
+// runs with varying seeds.
+type BiasReport struct {
+	Query string `json:"query"`
+	// Runs is how many independent runs were accumulated.
+	Runs   int          `json:"runs"`
+	Strata []BiasStratum `json:"strata"`
+	// ReservoirSizes aggregates the per-run "reservoir_size" histograms of
+	// the combiner's intermediate samples (merged with Histogram.Merge, no
+	// re-bucketing) — the paper's intermediate-sample-size measurement,
+	// accumulated across the whole audit.
+	ReservoirSizes mapreduce.Histogram `json:"reservoir_sizes"`
+}
+
+// MinP is the worst per-stratum p-value (1 when no strata were testable).
+func (b *BiasReport) MinP() float64 {
+	min := 1.0
+	for _, s := range b.Strata {
+		if s.P < min {
+			min = s.P
+		}
+	}
+	return min
+}
+
+// Passed reports whether no stratum's p-value falls below alpha.
+func (b *BiasReport) Passed(alpha float64) bool { return b.MinP() >= alpha }
+
+// BiasAccumulator folds repeated sampling runs into per-member inclusion
+// counts. Build one with NewBiasAccumulator, feed each run's answer (and
+// metrics) with AddRun, and finish with Report.
+type BiasAccumulator struct {
+	q       *query.SSD
+	members [][]int64         // per stratum, the IDs of σ_k(R) in split order
+	counts  []map[int64]int64 // per stratum, ID → inclusion count
+	runs    int
+	reservoirs mapreduce.Histogram
+}
+
+// NewBiasAccumulator indexes the stratum membership of the population so
+// that members never sampled still count as zero-inclusion cells.
+func NewBiasAccumulator(q *query.SSD, schema *dataset.Schema, splits []dataset.Split) (*BiasAccumulator, error) {
+	preds, err := q.Compile(schema)
+	if err != nil {
+		return nil, err
+	}
+	a := &BiasAccumulator{
+		q:       q,
+		members: make([][]int64, len(q.Strata)),
+		counts:  make([]map[int64]int64, len(q.Strata)),
+	}
+	for k := range a.counts {
+		a.counts[k] = make(map[int64]int64)
+	}
+	for _, split := range splits {
+		for i := range split {
+			if k := query.MatchStratum(preds, &split[i]); k >= 0 {
+				a.members[k] = append(a.members[k], split[i].ID)
+			}
+		}
+	}
+	return a, nil
+}
+
+// AddRun accumulates one run: each sampled tuple bumps its inclusion count,
+// and the run's intermediate-sample histogram (Metrics.Custom's
+// "reservoir_size" series, when present) merges into the audit aggregate.
+func (a *BiasAccumulator) AddRun(ans *query.Answer, met mapreduce.Metrics) error {
+	if len(ans.Strata) != len(a.q.Strata) {
+		return fmt.Errorf("audit: answer has %d strata, query %s has %d", len(ans.Strata), a.q.Name, len(a.q.Strata))
+	}
+	for k := range ans.Strata {
+		for i := range ans.Strata[k] {
+			a.counts[k][ans.Strata[k][i].ID]++
+		}
+	}
+	if h := met.Custom["reservoir_size"]; h != nil {
+		a.reservoirs.Merge(*h)
+	}
+	a.runs++
+	return nil
+}
+
+// Report runs the chi-square test per stratum. Strata whose per-run sample
+// is exhaustive (f_k ≥ |σ_k(R)|) or empty carry p = 1: every member is
+// included always (or never), which is trivially unbiased.
+func (a *BiasAccumulator) Report() (*BiasReport, error) {
+	rep := &BiasReport{Query: a.q.Name, Runs: a.runs, ReservoirSizes: a.reservoirs}
+	for k, s := range a.q.Strata {
+		row := BiasStratum{
+			Stratum:  fmt.Sprint(s.Cond),
+			Members:  len(a.members[k]),
+			Required: s.Freq,
+			P:        1,
+		}
+		observed := make([]int64, len(a.members[k]))
+		for i, id := range a.members[k] {
+			observed[i] = a.counts[k][id]
+			row.Inclusions.Observe(observed[i])
+		}
+		// Only a proper subset draw discriminates members; exhaustive or
+		// empty strata have one possible outcome.
+		if len(a.members[k]) > 1 && s.Freq > 0 && s.Freq < len(a.members[k]) && a.runs > 0 {
+			var total int64
+			for _, o := range observed {
+				total += o
+			}
+			if total > 0 {
+				expected := make([]float64, len(observed))
+				for i := range expected {
+					expected[i] = float64(total) / float64(len(observed))
+				}
+				chi2, err := stats.ChiSquareStat(observed, expected)
+				if err != nil {
+					return nil, err
+				}
+				row.Chi2 = chi2
+				row.P = stats.ChiSquareP(chi2, len(observed)-1)
+			}
+		}
+		rep.Strata = append(rep.Strata, row)
+	}
+	return rep, nil
+}
+
+// BiasAuditSQE runs MR-SQE `runs` times — seeds opts.Seed, opts.Seed+1, … —
+// and audits per-stratum inclusion uniformity. The returned metrics
+// accumulate every run (the CLI folds them into the process /metrics
+// export).
+func BiasAuditSQE(c *mapreduce.Cluster, q *query.SSD, schema *dataset.Schema, splits []dataset.Split, opts stratified.Options, runs int) (*BiasReport, mapreduce.Metrics, error) {
+	if runs < 1 {
+		return nil, mapreduce.Metrics{}, fmt.Errorf("audit: bias audit needs at least 1 run, got %d", runs)
+	}
+	acc, err := NewBiasAccumulator(q, schema, splits)
+	if err != nil {
+		return nil, mapreduce.Metrics{}, err
+	}
+	var all mapreduce.Metrics
+	all.Job = "audit:" + q.Name
+	for run := 0; run < runs; run++ {
+		ro := opts
+		ro.Seed = opts.Seed + int64(run)
+		ans, met, err := stratified.RunSQE(c, q, schema, splits, ro)
+		if err != nil {
+			return nil, mapreduce.Metrics{}, fmt.Errorf("audit: bias run %d: %w", run, err)
+		}
+		if err := acc.AddRun(ans, met); err != nil {
+			return nil, mapreduce.Metrics{}, err
+		}
+		all.Add(met)
+	}
+	rep, err := acc.Report()
+	if err != nil {
+		return nil, mapreduce.Metrics{}, err
+	}
+	all.Job = "audit:" + q.Name
+	return rep, all, nil
+}

@@ -1,0 +1,134 @@
+package audit
+
+import (
+	"math"
+
+	"repro/internal/cps"
+	"repro/internal/query"
+)
+
+// SurveyCost attributes the CPS plan to one survey: how its interview slots
+// were filled and what they cost.
+type SurveyCost struct {
+	// Survey is the 0-based survey index; Name its SSD name.
+	Survey int    `json:"survey"`
+	Name   string `json:"name"`
+	// Required is the survey's total frequency Σ_k f_{i,k}; Achieved the
+	// delivered answer size.
+	Required int `json:"required"`
+	Achieved int `json:"achieved"`
+	// PlannedSlots counts slots filled by dealt X_τ(σ) tuples,
+	// ResidualSlots the rounding deficits topped up by the residual phase.
+	PlannedSlots  int `json:"planned_slots"`
+	ResidualSlots int `json:"residual_slots"`
+	// PlanCost is the survey's equal-split share of the solved plan's
+	// objective: Σ_{σ} Σ_{τ∋i} X_τ(σ)·c_τ/|τ|. Shares sum to the rounded
+	// plan's cost across surveys.
+	PlanCost float64 `json:"plan_cost"`
+	// ResidualCost prices the top-up slots at the unshared rate c_{{i}} —
+	// residual individuals are never shared, which is exactly why rounding
+	// deficits are costed above the LP bound.
+	ResidualCost float64 `json:"residual_cost"`
+}
+
+// CPSReport is the cost-optimality audit of one MR-CPS run: how close the
+// realized answer set came to the LP lower bound, and where the gap
+// (rounding, residual top-ups) went.
+type CPSReport struct {
+	Surveys int `json:"surveys"`
+	// LPObjective is C_LP, the relaxation optimum — a lower bound on any
+	// integral answer's cost.
+	LPObjective float64 `json:"lp_objective"`
+	// RealizedCost is c_τ(A*), the cost of the delivered answer set.
+	RealizedCost float64 `json:"realized_cost"`
+	// InitialCost is c_τ(A) of the representative MR-MQE answer of step 1 —
+	// the baseline CPS is meant to undercut.
+	InitialCost float64 `json:"initial_cost"`
+	// PlannedTuples and ResidualTuples are the §6.2.2 counters: individuals
+	// delivered by the rounded plan vs added to cover rounding deficits.
+	PlannedTuples  int `json:"planned_tuples"`
+	ResidualTuples int `json:"residual_tuples"`
+	// PerSurvey attributes slots and cost per survey.
+	PerSurvey []SurveyCost `json:"per_survey"`
+}
+
+// CostRatio is RealizedCost/LPObjective — 1 means the rounding and residual
+// phases cost nothing over the LP bound (+Inf for a zero objective with
+// positive realized cost).
+func (r *CPSReport) CostRatio() float64 {
+	if r.LPObjective == 0 {
+		if r.RealizedCost == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return r.RealizedCost / r.LPObjective
+}
+
+// ResidualFraction is the share of delivered individuals that came from the
+// residual phase rather than the plan (0 when nothing was delivered).
+func (r *CPSReport) ResidualFraction() float64 {
+	total := r.PlannedTuples + r.ResidualTuples
+	if total == 0 {
+		return 0
+	}
+	return float64(r.ResidualTuples) / float64(total)
+}
+
+// Savings is 1 − RealizedCost/InitialCost: the fraction of the naive
+// (MQE) survey cost that CPS's sharing saved.
+func (r *CPSReport) Savings() float64 {
+	if r.InitialCost == 0 {
+		return 0
+	}
+	return 1 - r.RealizedCost/r.InitialCost
+}
+
+// AuditCPS accounts one MR-CPS (or sequential CPS) result against the MSSD
+// that produced it.
+func AuditCPS(m *query.MSSD, res *cps.Result) *CPSReport {
+	n := len(m.Queries)
+	rep := &CPSReport{
+		Surveys:        n,
+		LPObjective:    res.LP.Objective,
+		RealizedCost:   res.Answers.Cost(m.Costs),
+		InitialCost:    res.Initial.Cost(m.Costs),
+		PlannedTuples:  res.PlannedTuples,
+		ResidualTuples: res.ResidualTuples,
+	}
+	rep.PerSurvey = make([]SurveyCost, n)
+	for i, q := range m.Queries {
+		rep.PerSurvey[i] = SurveyCost{
+			Survey:   i,
+			Name:     q.Name,
+			Required: q.TotalFreq(),
+		}
+		if res.Answers != nil && res.Answers[i] != nil {
+			rep.PerSurvey[i].Achieved = res.Answers[i].Size()
+		}
+		if i < len(res.PlannedPerSurvey) {
+			rep.PerSurvey[i].PlannedSlots = res.PlannedPerSurvey[i]
+		}
+		if i < len(res.ResidualPerSurvey) {
+			rep.PerSurvey[i].ResidualSlots = res.ResidualPerSurvey[i]
+			rep.PerSurvey[i].ResidualCost = float64(res.ResidualPerSurvey[i]) * m.Costs.Cost(query.NewTau(i))
+		}
+	}
+	// Equal-split plan-cost attribution from the solved X_τ(σ): one
+	// individual asked the surveys of τ costs c_τ once; each member survey
+	// carries an equal share, so the shares reconstruct the plan objective.
+	if res.Plan != nil {
+		for _, byTau := range res.Plan.Assign {
+			for tau, x := range byTau {
+				if x <= 0 || tau.Empty() {
+					continue
+				}
+				share := float64(x) * m.Costs.Cost(tau) / float64(tau.Size())
+				for _, i := range tau.Indexes() {
+					rep.PerSurvey[i].PlanCost += share
+				}
+			}
+		}
+	}
+	return rep
+}

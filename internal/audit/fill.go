@@ -1,0 +1,154 @@
+package audit
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// FillRow grades one stratum of one run: achieved sample size against the
+// required frequency f_k, with the stratum's population size for
+// feasibility-aware judgement.
+type FillRow struct {
+	// Stratum is the stratum's display label (its condition, or "Qi/sk").
+	Stratum string `json:"stratum"`
+	// Required is the query's frequency f_k.
+	Required int `json:"required"`
+	// Achieved is the number of tuples the answer holds for the stratum.
+	Achieved int `json:"achieved"`
+	// Population is |σ_k(R)|, or -1 when unknown.
+	Population int64 `json:"population"`
+}
+
+// Target is the feasible requirement min(f_k, |σ_k(R)|): a stratum with
+// fewer members than f_k can only ever deliver all of them (the paper's SSD
+// semantics). With an unknown population the target is f_k itself.
+func (r FillRow) Target() int {
+	if r.Population >= 0 && r.Population < int64(r.Required) {
+		return int(r.Population)
+	}
+	return r.Required
+}
+
+// FillRate is Achieved/Target, 1 for an empty target.
+func (r FillRow) FillRate() float64 {
+	t := r.Target()
+	if t == 0 {
+		return 1
+	}
+	return float64(r.Achieved) / float64(t)
+}
+
+// Shortfall is how many tuples short of the target the stratum is (0 when
+// met or exceeded).
+func (r FillRow) Shortfall() int {
+	if d := r.Target() - r.Achieved; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Overdraw is how many tuples beyond the required frequency were delivered —
+// always a bug in the sampler, never a rounding artefact.
+func (r FillRow) Overdraw() int {
+	if d := r.Achieved - r.Required; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// FillReport collects the per-stratum fill rows of one run.
+type FillReport struct {
+	// Query names the audited query (or query set).
+	Query string    `json:"query"`
+	Rows  []FillRow `json:"rows"`
+}
+
+// Passed reports whether every stratum met its feasible target exactly:
+// no shortfall and no overdraw.
+func (f *FillReport) Passed() bool {
+	for _, r := range f.Rows {
+		if r.Shortfall() > 0 || r.Overdraw() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MinFillRate returns the worst fill rate across strata (1 when empty).
+func (f *FillReport) MinFillRate() float64 {
+	min := 1.0
+	for _, r := range f.Rows {
+		if fr := r.FillRate(); fr < min {
+			min = fr
+		}
+	}
+	return min
+}
+
+// AuditFill grades a single-query answer: one row per stratum, labelled by
+// the stratum condition. pops supplies |σ_k(R)| per stratum (nil when
+// unknown; StratumPopulations computes it from the splits).
+func AuditFill(q *query.SSD, ans *query.Answer, pops []int64) (*FillReport, error) {
+	if len(ans.Strata) != len(q.Strata) {
+		return nil, fmt.Errorf("audit: answer has %d strata, query %s has %d", len(ans.Strata), q.Name, len(q.Strata))
+	}
+	rep := &FillReport{Query: q.Name}
+	for k, s := range q.Strata {
+		pop := int64(-1)
+		if pops != nil {
+			pop = pops[k]
+		}
+		rep.Rows = append(rep.Rows, FillRow{
+			Stratum:    fmt.Sprint(s.Cond),
+			Required:   s.Freq,
+			Achieved:   len(ans.Strata[k]),
+			Population: pop,
+		})
+	}
+	return rep, nil
+}
+
+// AuditFillMulti grades a multi-query answer set (an MR-MQE or MR-CPS
+// result): one row per (query, stratum), labelled "Qi: cond".
+func AuditFillMulti(queries []*query.SSD, answers query.MultiAnswer, pops [][]int64) (*FillReport, error) {
+	if len(answers) != len(queries) {
+		return nil, fmt.Errorf("audit: %d answers for %d queries", len(answers), len(queries))
+	}
+	rep := &FillReport{Query: fmt.Sprintf("%d-query MSSD", len(queries))}
+	for qi, q := range queries {
+		var qpops []int64
+		if pops != nil {
+			qpops = pops[qi]
+		}
+		one, err := AuditFill(q, answers[qi], qpops)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range one.Rows {
+			row.Stratum = fmt.Sprintf("Q%d: %s", qi+1, row.Stratum)
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// StratumPopulations counts |σ_k(R)| per stratum over the distributed
+// splits — the denominator of the fill target and of the bias audit's
+// expected inclusion rate.
+func StratumPopulations(q *query.SSD, schema *dataset.Schema, splits []dataset.Split) ([]int64, error) {
+	preds, err := q.Compile(schema)
+	if err != nil {
+		return nil, err
+	}
+	pops := make([]int64, len(q.Strata))
+	for _, split := range splits {
+		for i := range split {
+			if k := query.MatchStratum(preds, &split[i]); k >= 0 {
+				pops[k]++
+			}
+		}
+	}
+	return pops, nil
+}

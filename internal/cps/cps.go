@@ -54,6 +54,14 @@ type Result struct {
 	// cover rounding deficits. Their ratio is the §6.2.2 metric.
 	PlannedTuples  int
 	ResidualTuples int
+	// PlannedPerSurvey and ResidualPerSurvey break the plan delivery down
+	// by survey index: PlannedPerSurvey[i] counts interview slots of survey
+	// i filled by dealt plan tuples (an individual shared across k surveys
+	// counts once in each), ResidualPerSurvey[i] the slots topped up by the
+	// residual phase. The audit layer uses them for per-survey rounding-
+	// deficit attribution.
+	PlannedPerSurvey  []int
+	ResidualPerSurvey []int
 	// Plan is the solved constraint program, for inspection (which
 	// selections share how many individuals across which surveys).
 	Plan *Plan
@@ -168,6 +176,8 @@ func run(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []d
 		answers[i] = query.NewAnswer(len(q.Strata))
 		chosen[i] = make(map[int64]struct{})
 	}
+	res.PlannedPerSurvey = make([]int, n)
+	res.ResidualPerSurvey = make([]int, n)
 	dealt := make(map[string][]int64, len(stats.Entries)) // per key, per survey
 	for _, key := range stats.SortedKeys() {
 		byTau := plan.Assign[key]
@@ -194,6 +204,7 @@ func run(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []d
 					answers[i].Strata[sel[i]] = append(answers[i].Strata[sel[i]], t)
 					chosen[i][t.ID] = struct{}{}
 					counts[i]++
+					res.PlannedPerSurvey[i]++
 				}
 			}
 		}
@@ -249,6 +260,7 @@ func run(c *mapreduce.Cluster, m *query.MSSD, schema *dataset.Schema, splits []d
 				answers[i].Strata[sel[i]] = append(answers[i].Strata[sel[i]], t)
 				chosen[i][t.ID] = struct{}{}
 				res.ResidualTuples++
+				res.ResidualPerSurvey[i]++
 			}
 		}
 	}

@@ -73,6 +73,8 @@ func Sequential(m *query.MSSD, r *dataset.Relation, rng *rand.Rand, solve SolveO
 		answers[i] = query.NewAnswer(len(q.Strata))
 		chosen[i] = make(map[int64]struct{})
 	}
+	res.PlannedPerSurvey = make([]int, n)
+	res.ResidualPerSurvey = make([]int, n)
 	dealt := make(map[string][]int64, len(stats.Entries))
 	for _, key := range stats.SortedKeys() {
 		byTau := plan.Assign[key]
@@ -99,6 +101,7 @@ func Sequential(m *query.MSSD, r *dataset.Relation, rng *rand.Rand, solve SolveO
 					answers[i].Strata[sel[i]] = append(answers[i].Strata[sel[i]], t)
 					chosen[i][t.ID] = struct{}{}
 					counts[i]++
+					res.PlannedPerSurvey[i]++
 				}
 			}
 		}
@@ -126,6 +129,7 @@ func Sequential(m *query.MSSD, r *dataset.Relation, rng *rand.Rand, solve SolveO
 				answers[i].Strata[e.Sel[i]] = append(answers[i].Strata[e.Sel[i]], t)
 				chosen[i][t.ID] = struct{}{}
 				res.ResidualTuples++
+				res.ResidualPerSurvey[i]++
 			}
 		}
 	}

@@ -1,6 +1,9 @@
 package mapreduce
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Cluster models the distributed system the job runs on: a number of slave
 // machines, each offering task slots, and a cost model for the virtual clock.
@@ -35,6 +38,13 @@ type Cluster struct {
 	// (per-stratum) reduce counters. It is implied by an enabled Tracer;
 	// off by default because a wide key space would make Metrics large.
 	PerKeyMetrics bool
+	// Clock, when non-nil, replaces time.Now for the engine's wall-clock
+	// reads (Metrics.WallTime and the Start/Wall fields of spans). A
+	// FrozenClock zeroes every wall measurement, which — together with a
+	// fixed Job.Seed — makes JSONL span files byte-identical across runs:
+	// the determinism audit replay depends on. Simulated durations never
+	// come from this clock; they come from the cost model.
+	Clock func() time.Time
 }
 
 // NewCluster returns a cluster with n slaves, one slot per slave, and the
@@ -71,4 +81,20 @@ func (c *Cluster) tracer() Tracer {
 		return c.Tracer
 	}
 	return nil
+}
+
+// now returns the cluster's wall clock: Clock when set, time.Now otherwise.
+func (c *Cluster) now() func() time.Time {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return time.Now
+}
+
+// FrozenClock returns a Clock stuck at t. Under a frozen clock every wall
+// measurement is zero, so a traced run's span stream depends only on the
+// job, seed, cluster and fault plan — byte-identical across runs and
+// machines.
+func FrozenClock(t time.Time) func() time.Time {
+	return func() time.Time { return t }
 }

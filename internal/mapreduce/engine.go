@@ -153,8 +153,15 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	tr := c.tracer()
 	perKey := c.PerKeyMetrics || tr != nil
 	logDebug := slog.Default().Enabled(context.Background(), slog.LevelDebug)
+	if jo, ok := tr.(JobObserver); ok {
+		// Announce the run before any task executes so live-progress
+		// consumers know the per-phase totals from the start.
+		jo.JobStarted(job.Name, len(splits), numReducers)
+	}
 
-	start := time.Now()
+	now := c.now()
+	start := now()
+	elapsed := func() time.Duration { return now().Sub(start) }
 	var met Metrics
 	met.Job = job.Name
 	met.MapTasks = len(splits)
@@ -191,7 +198,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		cnt := &taskCounts[task]
 		ctx.observe = histObserver(&cnt.custom)
 		if tr != nil {
-			cnt.startOff = time.Since(start)
+			cnt.startOff = elapsed()
 		}
 		// Buffer map output per key, preserving key first-seen order for
 		// deterministic combiner invocation order.
@@ -205,7 +212,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 			job.Mapper.Map(ctx, splits[task][i], emit)
 		}
 		if tr != nil {
-			cnt.mapDone = time.Since(start)
+			cnt.mapDone = elapsed()
 		}
 
 		buckets := make([]mapTaskOutput[K, V], numReducers)
@@ -243,7 +250,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 			}
 		}
 		if tr != nil {
-			cnt.combineDone = time.Since(start)
+			cnt.combineDone = elapsed()
 		}
 		// Pipelined shuffle: this task's buckets leave the map worker as
 		// soon as they exist, overlapping the remaining map tasks. Without
@@ -272,7 +279,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 			}
 		}
 		if tr != nil {
-			cnt.sendDone = time.Since(start)
+			cnt.sendDone = elapsed()
 		}
 		perTask[task] = buckets
 	})
@@ -339,7 +346,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		slog.Debug("mapreduce map phase done", "job", job.Name,
 			"tasks", met.MapTasks, "attempts", met.MapAttempts,
 			"records_in", met.MapInputRecords, "records_out", met.MapOutputRecords,
-			"simulated", met.SimulatedMap, "wall", time.Since(start))
+			"simulated", met.SimulatedMap, "wall", elapsed())
 	}
 
 	// ---- Shuffle: parallel per-reducer receive, decode and group ----
@@ -363,7 +370,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 
 	runParallel(numReducers, c.workers(), func(r int) {
 		if tr != nil {
-			recvStart[r] = time.Since(start)
+			recvStart[r] = elapsed()
 		}
 		var parts [][]Pair[K, V] // task-ordered bucket list for this reducer
 		if transport != nil {
@@ -411,7 +418,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		reducerNames[r] = groups.sortByName(job.keyString)
 		reducerGroups[r] = groups
 		if tr != nil {
-			recvDur[r] = time.Since(start) - recvStart[r]
+			recvDur[r] = elapsed() - recvStart[r]
 		}
 	})
 	for _, err := range reducerErrs {
@@ -439,7 +446,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	if logDebug {
 		slog.Debug("mapreduce shuffle done", "job", job.Name,
 			"records", met.ShuffleRecords, "bytes", met.ShuffleBytes,
-			"simulated", met.SimulatedShuffle, "wall", time.Since(start))
+			"simulated", met.SimulatedShuffle, "wall", elapsed())
 	}
 
 	// ---- Reduce phase ----
@@ -457,7 +464,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	}
 	runParallel(numReducers, c.workers(), func(r int) {
 		if tr != nil {
-			redStart[r] = time.Since(start)
+			redStart[r] = elapsed()
 		}
 		var out []O
 		var inRecs int64
@@ -493,7 +500,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 			keyStats[r] = perKeyStats
 		}
 		if tr != nil {
-			redDur[r] = time.Since(start) - redStart[r]
+			redDur[r] = elapsed() - redStart[r]
 		}
 	})
 
@@ -545,7 +552,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		final = append(final, outputs[r]...)
 	}
 	met.SimulatedReduce = makespan(reduceDurations, c.Slots())
-	met.WallTime = time.Since(start)
+	met.WallTime = elapsed()
 	if tr != nil {
 		tr.Emit(Span{
 			Job: job.Name, Phase: PhaseJob,

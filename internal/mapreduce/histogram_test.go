@@ -73,6 +73,52 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeJSONRoundTrip is the audit-aggregation contract: per-run
+// histograms serialized into metrics JSON can be decoded and merged across
+// runs without re-bucketing, and the aggregate itself round-trips.
+func TestHistogramMergeJSONRoundTrip(t *testing.T) {
+	runs := [][]int64{
+		{1, 5, 5, 64},
+		{-3, 0, 7, 1 << 20},
+		{2, 2, 2, math.MaxInt64},
+	}
+	var direct Histogram // everything observed into one histogram
+	var merged Histogram // per-run histograms, JSON round-tripped, then merged
+	for _, vs := range runs {
+		var h Histogram
+		for _, v := range vs {
+			h.Observe(v)
+			direct.Observe(v)
+		}
+		data, err := json.Marshal(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Histogram
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		merged.Merge(back)
+	}
+	if !reflect.DeepEqual(direct, merged) {
+		t.Fatalf("merge of round-tripped runs diverged: %s vs %s", direct, merged)
+	}
+	data, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, back) {
+		t.Fatalf("aggregate round trip changed histogram: %s vs %s", merged, back)
+	}
+	if back.Count() != 12 || back.Min() != -3 || back.Max() != math.MaxInt64 {
+		t.Fatalf("aggregate summary wrong: %s", back)
+	}
+}
+
 func TestHistogramBucketBounds(t *testing.T) {
 	cases := []struct {
 		v  int64

@@ -76,6 +76,67 @@ type Tracer interface {
 	Emit(Span)
 }
 
+// JobObserver is an optional extension of Tracer. When the cluster's enabled
+// tracer implements it, the engine announces each run *before* any task
+// executes, carrying the per-phase task totals the span stream alone cannot
+// provide (spans only exist for finished work). Live progress consumers —
+// audit.Tracker behind the CLI's /progress endpoint — need the totals to
+// render "done/total" meaningfully from the first moment of a run.
+type JobObserver interface {
+	// JobStarted reports a run about to execute: its name and how many map
+	// and reduce tasks it will schedule.
+	JobStarted(job string, mapTasks, reduceTasks int)
+}
+
+// TeeTracer fans every span out to several tracers — e.g. a JSONLTracer
+// writing the span file and a progress tracker feeding /progress. It is
+// enabled when any member is enabled, and forwards only to the enabled
+// members; JobStarted reaches every enabled member that implements
+// JobObserver.
+type TeeTracer struct {
+	tracers []Tracer
+}
+
+// NewTeeTracer combines the given tracers; nil entries are dropped.
+func NewTeeTracer(tracers ...Tracer) *TeeTracer {
+	t := &TeeTracer{}
+	for _, tr := range tracers {
+		if tr != nil {
+			t.tracers = append(t.tracers, tr)
+		}
+	}
+	return t
+}
+
+// Enabled reports whether any member wants spans.
+func (t *TeeTracer) Enabled() bool {
+	for _, tr := range t.tracers {
+		if tr.Enabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// Emit forwards the span to every enabled member.
+func (t *TeeTracer) Emit(s Span) {
+	for _, tr := range t.tracers {
+		if tr.Enabled() {
+			tr.Emit(s)
+		}
+	}
+}
+
+// JobStarted forwards the announcement to every enabled member that
+// implements JobObserver.
+func (t *TeeTracer) JobStarted(job string, mapTasks, reduceTasks int) {
+	for _, tr := range t.tracers {
+		if jo, ok := tr.(JobObserver); ok && tr.Enabled() {
+			jo.JobStarted(job, mapTasks, reduceTasks)
+		}
+	}
+}
+
 // NopTracer is a Tracer that records nothing; it behaves exactly like a nil
 // Cluster.Tracer and exists so callers can thread a Tracer value
 // unconditionally.
