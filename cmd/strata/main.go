@@ -6,7 +6,7 @@
 // Usage:
 //
 //	strata [-v] [-log level] [-trace spans.jsonl] [-debug-addr addr] [-progress]
-//	       <command> ...
+//	       [-backend inproc|subprocess|tcp] [-workers n] <command> ...
 //
 //	strata generate    -n 10000 [-uniform] [-graph] [-seed 1] [-stats] [-csv]
 //	strata sample      -n 10000 -query "nop >= 100 : 5; nop < 100 : 10" [-slaves 4]
@@ -20,6 +20,14 @@
 //	strata experiments [-run all|table2|figure6|figure7|figure8|optimality|uniform|
 //	                    scaling|scorecard] [-pop 20000] [-samples 100,1000]
 //	                   [-runs 10] [-slaves 10] [-json]
+//	strata worker      -stdio | -connect host:port [-id name]
+//
+// The -backend flag selects where engine tasks execute: in this process
+// (inproc, the default), on a pool of "strata worker -stdio" child
+// processes (subprocess), or on workers that registered over TCP (tcp; the
+// coordinator spawns -workers local ones and logs the address external
+// "strata worker -connect" processes can join). Job output is byte-for-byte
+// identical across backends for a fixed seed.
 //
 // The global flags configure observability for every command: -v / -log set
 // the structured-log level, -trace streams one JSON span per engine task to a
@@ -62,6 +70,8 @@ func main() {
 		err = cmdTrace(args[1:])
 	case "experiments":
 		err = cmdExperiments(args[1:])
+	case "worker":
+		err = cmdWorker(args[1:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -91,7 +101,9 @@ commands:
   query        run an MSSD design from a JSON file over a CSV or generated population
   trace        summarize a span file written with -trace
   experiments  regenerate the paper's tables and figures
+  worker       serve tasks for a coordinator (-stdio, or -connect host:port)
 
-global flags: -v, -log <level>, -trace <spans.jsonl>, -debug-addr <addr>, -progress
+global flags: -v, -log <level>, -trace <spans.jsonl>, -debug-addr <addr>, -progress,
+              -backend inproc|subprocess|tcp, -workers <n>
 run "strata <command> -h" for command flags.`)
 }

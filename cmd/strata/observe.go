@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/mapreduce"
+	"repro/internal/worker"
 )
 
 // obs is the process-wide observability state configured by the global flags
@@ -27,6 +28,10 @@ type obs struct {
 	tracePath string
 	debugAddr string
 	progress  bool
+	backend   string
+	workers   int
+
+	executor mapreduce.Executor
 
 	tracer    *mapreduce.JSONLTracer
 	traceFile *os.File
@@ -55,6 +60,8 @@ func parseGlobalFlags(args []string) ([]string, error) {
 	fs.StringVar(&globalObs.tracePath, "trace", "", "write engine spans to this JSON-lines `file` (read back with \"strata trace\")")
 	fs.StringVar(&globalObs.debugAddr, "debug-addr", "", "serve /metrics, /progress, /quality, /debug/pprof and /debug/vars on this `addr` (e.g. localhost:6060)")
 	fs.BoolVar(&globalObs.progress, "progress", false, "print a live per-phase progress line to stderr while jobs run")
+	fs.StringVar(&globalObs.backend, "backend", "inproc", "task execution `backend`: inproc, subprocess (worker child processes) or tcp (workers register over TCP)")
+	fs.IntVar(&globalObs.workers, "workers", 2, "worker count for -backend subprocess or tcp")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -101,7 +108,43 @@ func (o *obs) setup() error {
 	if o.progress {
 		o.startTicker()
 	}
-	return nil
+	return o.setupExecutor()
+}
+
+// setupExecutor starts the worker runtime selected by -backend. The
+// executor is shared by every cluster the command builds (newCluster
+// installs it) and drained in close().
+func (o *obs) setupExecutor() error {
+	switch o.backend {
+	case "", "inproc":
+		return nil
+	case "subprocess":
+		exec, err := worker.NewSubprocessExecutor(worker.SubprocessConfig{Workers: o.workers})
+		if err != nil {
+			return fmt.Errorf("starting %d worker subprocesses: %w", o.workers, err)
+		}
+		slog.Info("worker pool started", "backend", "subprocess", "workers", o.workers)
+		o.executor = exec
+		return nil
+	case "tcp":
+		exec, err := worker.NewTCPExecutor(worker.TCPConfig{})
+		if err != nil {
+			return fmt.Errorf("starting tcp coordinator: %w", err)
+		}
+		if o.workers > 0 {
+			exec.SpawnLocal(o.workers)
+			if err := exec.AwaitWorkers(o.workers, 10*time.Second); err != nil {
+				exec.Close()
+				return err
+			}
+		}
+		slog.Info("worker pool started", "backend", "tcp", "addr", exec.Addr(),
+			"workers", o.workers, "join", "strata worker -connect "+exec.Addr())
+		o.executor = exec
+		return nil
+	default:
+		return fmt.Errorf("unknown -backend %q (want inproc, subprocess or tcp)", o.backend)
+	}
 }
 
 // startTicker prints the tracker's one-line summary to stderr a few times a
@@ -168,8 +211,14 @@ func (o *obs) serveDebug() error {
 	return nil
 }
 
-// close stops the progress ticker and flushes the span file, if any.
+// close drains the worker pool, stops the progress ticker and flushes the
+// span file, if any.
 func (o *obs) close() error {
+	if o.executor != nil {
+		if err := o.executor.Close(); err != nil {
+			slog.Warn("draining worker pool", "err", err)
+		}
+	}
 	if o.stopTick != nil {
 		close(o.stopTick)
 		<-o.tickDone
@@ -222,6 +271,9 @@ func newCluster(slaves int) *mapreduce.Cluster {
 	}
 	if globalObs.tracer != nil || globalObs.debugAddr != "" {
 		c.PerKeyMetrics = true
+	}
+	if globalObs.executor != nil {
+		c.Executor = globalObs.executor
 	}
 	return c
 }

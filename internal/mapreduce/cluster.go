@@ -27,8 +27,15 @@ type Cluster struct {
 	NewTransport func() (Transport, error)
 	// MaxParallelism caps the real goroutine parallelism used to execute
 	// tasks, independent of the simulated slot count. 0 means "as many as
-	// slots".
+	// slots"; negative values are a configuration error.
 	MaxParallelism int
+	// Executor, when non-nil, runs task attempts on an execution backend
+	// instead of in-process goroutines: a pool of subprocess workers, TCP
+	// workers, or any other Executor implementation. A nil Executor — or an
+	// *InprocExecutor — keeps today's in-process engine path. Remote
+	// executors require portable jobs (Job.Maker set); non-portable jobs
+	// fall back to in-process execution with a warning log.
+	Executor Executor
 	// Tracer, when non-nil and enabled, receives one Span per task attempt,
 	// combine, shuffle leg and job (see the Phase* constants). A nil or
 	// disabled tracer keeps the engine's hot path free of span assembly and
@@ -61,6 +68,12 @@ func (c *Cluster) Validate() error {
 	if c.SlotsPerSlave < 1 {
 		return fmt.Errorf("mapreduce: cluster needs at least 1 slot per slave, got %d", c.SlotsPerSlave)
 	}
+	if c.MaxParallelism < 0 {
+		return fmt.Errorf("mapreduce: cluster MaxParallelism must be >= 0, got %d", c.MaxParallelism)
+	}
+	if err := c.Cost.validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -72,6 +85,21 @@ func (c *Cluster) workers() int {
 		return c.MaxParallelism
 	}
 	return c.Slots()
+}
+
+// remoteExecutor returns the cluster's executor when it actually moves work
+// off-process, else nil. An *InprocExecutor is deliberately treated as "no
+// executor": it exists so callers can thread an Executor value
+// unconditionally, and the closure-based engine path is both faster and the
+// reference behavior.
+func (c *Cluster) remoteExecutor() Executor {
+	if c.Executor == nil {
+		return nil
+	}
+	if _, ok := c.Executor.(*InprocExecutor); ok {
+		return nil
+	}
+	return c.Executor
 }
 
 // tracer returns the cluster's tracer if spans are wanted, else nil — the

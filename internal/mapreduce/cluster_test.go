@@ -1,0 +1,105 @@
+package mapreduce
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClusterValidate(t *testing.T) {
+	valid := func() *Cluster { return NewCluster(3) }
+	cases := []struct {
+		name    string
+		mutate  func(*Cluster)
+		wantErr string // substring; empty means valid
+	}{
+		{name: "default is valid", mutate: func(*Cluster) {}},
+		{name: "zero cost model via constructor", mutate: func(c *Cluster) { c.Cost = ZeroCostModel() }},
+		{name: "no slaves", mutate: func(c *Cluster) { c.Slaves = 0 }, wantErr: "at least 1 slave"},
+		{name: "negative slaves", mutate: func(c *Cluster) { c.Slaves = -2 }, wantErr: "at least 1 slave"},
+		{name: "no slots", mutate: func(c *Cluster) { c.SlotsPerSlave = 0 }, wantErr: "slot per slave"},
+		{name: "negative parallelism", mutate: func(c *Cluster) { c.MaxParallelism = -1 }, wantErr: "MaxParallelism"},
+		{name: "zero parallelism means as-many-as-slots", mutate: func(c *Cluster) { c.MaxParallelism = 0 }},
+		{name: "forgotten cost model", mutate: func(c *Cluster) { c.Cost = CostModel{} }, wantErr: "no cost model"},
+		{name: "negative map rate", mutate: func(c *Cluster) { c.Cost.MapPerRecord = -time.Millisecond }, wantErr: "MapPerRecord is negative"},
+		{name: "negative shuffle rate", mutate: func(c *Cluster) { c.Cost.ShufflePerByte = -1 }, wantErr: "ShufflePerByte is negative"},
+		{name: "negative overhead", mutate: func(c *Cluster) { c.Cost.TaskOverhead = -time.Second }, wantErr: "TaskOverhead is negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := valid()
+			tc.mutate(c)
+			err := c.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalidCluster checks Run surfaces Validate errors before
+// doing any work.
+func TestRunRejectsInvalidCluster(t *testing.T) {
+	c := NewCluster(2)
+	c.MaxParallelism = -3
+	_, err := Run(c, remoteModCountJob(), [][]int{{1, 2, 3}})
+	if err == nil || !strings.Contains(err.Error(), "MaxParallelism") {
+		t.Fatalf("Run = %v, want MaxParallelism validation error", err)
+	}
+}
+
+// TestTCPTransportReceiveTimeout pins the named timeout error: a reducer
+// whose map-side payloads never arrive fails with *ReceiveTimeoutError
+// instead of blocking forever.
+func TestTCPTransportReceiveTimeout(t *testing.T) {
+	tr, err := NewTCPTransport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.ReceiveTimeout = 50 * time.Millisecond
+
+	// Two map tasks expected; only task 0 ever sends to reducer 1.
+	if _, err := tr.Send(0, 1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = tr.Receive(1, 2)
+	if err == nil {
+		t.Fatal("Receive returned without the missing bucket, want timeout")
+	}
+	var te *ReceiveTimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("Receive error %T (%v), want *ReceiveTimeoutError", err, err)
+	}
+	if te.Reducer != 1 || te.Task != 1 {
+		t.Errorf("timeout names reducer %d task %d, want reducer 1 task 1", te.Reducer, te.Task)
+	}
+	if want := "mapreduce: reducer 1 timed out waiting for task 1"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q, want prefix %q", err, want)
+	}
+
+	// A fully delivered reducer still receives normally under the deadline.
+	if _, err := tr.Send(0, 0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Send(1, 0, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	payloads, err := tr.Receive(0, 2)
+	if err != nil {
+		t.Fatalf("Receive(0) = %v, want success", err)
+	}
+	if len(payloads) != 2 {
+		t.Fatalf("Receive(0) returned %d payloads, want 2", len(payloads))
+	}
+}

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"fmt"
 	"sort"
 	"time"
 )
@@ -25,6 +26,12 @@ type CostModel struct {
 	// TaskOverhead is the fixed startup cost of every task (JVM spin-up,
 	// scheduling, etc. in the real system).
 	TaskOverhead time.Duration
+
+	// zeroOK marks an intentionally all-zero model (ZeroCostModel). Without
+	// it, Cluster.Validate rejects a zero-valued Cost, catching hand-built
+	// clusters that forgot to install a model and would silently report
+	// zero simulated durations.
+	zeroOK bool
 }
 
 // DefaultCostModel returns the calibrated model described above. The map
@@ -42,8 +49,34 @@ func DefaultCostModel() CostModel {
 }
 
 // ZeroCostModel returns a model under which every simulated duration is zero;
-// useful for tests that only care about outputs and counters.
-func ZeroCostModel() CostModel { return CostModel{} }
+// useful for tests that only care about outputs and counters. Unlike a plain
+// zero CostModel value — which Cluster.Validate rejects as "no cost model" —
+// the returned model is marked as intentionally zero.
+func ZeroCostModel() CostModel { return CostModel{zeroOK: true} }
+
+// validate reports a configuration error: negative rates, or an all-zero
+// model that was not built with ZeroCostModel (a hand-assembled cluster that
+// never set Cost).
+func (m CostModel) validate() error {
+	for _, f := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"MapPerRecord", m.MapPerRecord},
+		{"CombinePerRecord", m.CombinePerRecord},
+		{"ShufflePerByte", m.ShufflePerByte},
+		{"ReducePerRecord", m.ReducePerRecord},
+		{"TaskOverhead", m.TaskOverhead},
+	} {
+		if f.d < 0 {
+			return fmt.Errorf("mapreduce: cost model %s is negative (%v)", f.name, f.d)
+		}
+	}
+	if m == (CostModel{}) {
+		return fmt.Errorf("mapreduce: cluster has no cost model (use DefaultCostModel or ZeroCostModel)")
+	}
+	return nil
+}
 
 // makespan schedules task durations on `slots` parallel slots using greedy
 // longest-processing-time-first assignment and returns the finishing time of

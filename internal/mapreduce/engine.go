@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 )
@@ -15,11 +14,6 @@ import (
 type Result[O any] struct {
 	Output  []O
 	Metrics Metrics
-}
-
-// mapTaskOutput is what one map task contributes to one reducer.
-type mapTaskOutput[K comparable, V any] struct {
-	pairs []Pair[K, V]
 }
 
 // keyGroups accumulates values per key in first-seen key order with one map
@@ -177,6 +171,20 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		defer transport.Close()
 	}
 
+	// A remote executor (subprocess or TCP workers) takes over task
+	// execution when the job is portable; the engine keeps all scheduling,
+	// fault accounting and span emission so the observable behavior matches
+	// the in-process path exactly. Non-portable jobs (no Maker registered)
+	// stay in-process — real distribution needs code the worker binary can
+	// reconstruct.
+	if exec := c.remoteExecutor(); exec != nil {
+		if job.Maker != "" {
+			return runRemote(c, job, splits, numReducers, exec, transport, tr, &met, now, start)
+		}
+		slog.Warn("mapreduce: job is not portable, running in-process",
+			"job", job.Name, "executor", exec.Name())
+	}
+
 	// ---- Map phase (with per-task combine and pipelined shuffle sends) ----
 	// All counters are accumulated per task and folded into Metrics once
 	// after the phase: nothing touches shared counters per record.
@@ -188,77 +196,31 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		// only when a tracer is enabled.
 		startOff, mapDone, combineDone, sendDone time.Duration
 	}
-	perTask := make([][]mapTaskOutput[K, V], len(splits)) // [task][reducer]
+	perTask := make([][][]Pair[K, V], len(splits)) // [task][reducer]
 	taskCounts := make([]mapCounters, len(splits))
 	taskErrs := make([]error, len(splits))
 
 	runParallel(len(splits), c.workers(), func(task int) {
-		id := strconv.Itoa(task)
-		ctx := newTaskContext(job.Name, "map", task, taskSeed(job.Seed, "map", id))
 		cnt := &taskCounts[task]
-		ctx.observe = histObserver(&cnt.custom)
 		if tr != nil {
 			cnt.startOff = elapsed()
 		}
-		// Buffer map output per key, preserving key first-seen order for
-		// deterministic combiner invocation order.
-		groups := newKeyGroups[K, V](len(splits[task]))
-		emit := func(k K, v V) {
-			groups.add(k, v)
-			cnt.out++
-		}
-		for i := range splits[task] {
-			cnt.in++
-			job.Mapper.Map(ctx, splits[task][i], emit)
-		}
+		var stage func() time.Duration
 		if tr != nil {
-			cnt.mapDone = elapsed()
+			stage = elapsed
 		}
-
-		buckets := make([]mapTaskOutput[K, V], numReducers)
-		// Pre-cap each bucket near its expected share of this task's pairs
-		// so the per-pair append path rarely grows: combiners typically emit
-		// about one pair per key, the plain path forwards every map output.
-		bucketCap := len(groups.keyOrder)/numReducers + 1
-		if job.Combiner == nil {
-			bucketCap = int(cnt.out)/numReducers + 1
-		}
-		for r := range buckets {
-			buckets[r].pairs = make([]Pair[K, V], 0, bucketCap)
-		}
-		if job.Combiner != nil {
-			// Deterministic combine order: sort keys canonically so the
-			// task RNG consumption is independent of map emission order.
-			names := groups.sortByName(job.keyString)
-			cctx := newTaskContext(job.Name, "combine", task, taskSeed(job.Seed, "combine", id))
-			cctx.observe = ctx.observe
-			for i, k := range groups.keyOrder {
-				vs := groups.lists[i]
-				cnt.combineIn += int64(len(vs))
-				p := job.partitionByName(k, names[i], numReducers)
-				job.Combiner.Combine(cctx, k, vs, func(v V) {
-					cnt.combineOut++
-					buckets[p].pairs = append(buckets[p].pairs, Pair[K, V]{k, v})
-				})
-			}
-		} else {
-			for i, k := range groups.keyOrder {
-				p := job.partition(k, numReducers)
-				for _, v := range groups.lists[i] {
-					buckets[p].pairs = append(buckets[p].pairs, Pair[K, V]{k, v})
-				}
-			}
-		}
-		if tr != nil {
-			cnt.combineDone = elapsed()
-		}
+		run := execMapTask(job, job.Seed, splits[task], task, numReducers, stage)
+		cnt.in, cnt.out = run.in, run.out
+		cnt.combineIn, cnt.combineOut = run.combineIn, run.combineOut
+		cnt.custom = run.custom
+		cnt.mapDone, cnt.combineDone = run.mapDone, run.combineDone
 		// Pipelined shuffle: this task's buckets leave the map worker as
 		// soon as they exist, overlapping the remaining map tasks. Without
 		// a transport the buckets stay in memory and only their approximate
 		// wire size is accounted, one bucket at a time.
 		if transport != nil {
-			for r := range buckets {
-				payload, err := encodeBucket(buckets[r].pairs)
+			for r := range run.buckets {
+				payload, err := encodeBucket(run.buckets[r])
 				if err != nil {
 					taskErrs[task] = err
 					return
@@ -272,8 +234,8 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 				cnt.bucketBytes.Observe(int64(n))
 			}
 		} else {
-			for r := range buckets {
-				n := bucketApproxSize(buckets[r].pairs)
+			for r := range run.buckets {
+				n := bucketApproxSize(run.buckets[r])
 				cnt.shuffleBytes += n
 				cnt.bucketBytes.Observe(n)
 			}
@@ -281,7 +243,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		if tr != nil {
 			cnt.sendDone = elapsed()
 		}
-		perTask[task] = buckets
+		perTask[task] = run.buckets
 	})
 	for _, err := range taskErrs {
 		if err != nil {
@@ -396,23 +358,18 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		} else {
 			parts = make([][]Pair[K, V], len(perTask))
 			for t := range perTask {
-				parts[t] = perTask[t][r].pairs
+				parts[t] = perTask[t][r]
 				if tr != nil {
 					recvBytes[r] += bucketApproxSize(parts[t])
 				}
 			}
 		}
-		var total int
+		groups := groupPairs(parts)
+		var total int64
 		for _, pairs := range parts {
-			total += len(pairs)
+			total += int64(len(pairs))
 		}
-		groups := newKeyGroups[K, V](total)
-		for _, pairs := range parts {
-			for i := range pairs {
-				groups.add(pairs[i].Key, pairs[i].Value)
-			}
-		}
-		shuffleRecs[r] = int64(total)
+		shuffleRecs[r] = total
 		// Deterministic reduce order within the reducer; the names feed the
 		// per-key reduce seeds without re-rendering.
 		reducerNames[r] = groups.sortByName(job.keyString)
@@ -466,38 +423,12 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		if tr != nil {
 			redStart[r] = elapsed()
 		}
-		var out []O
-		var inRecs int64
-		groups := reducerGroups[r]
-		emit := func(o O) { out = append(out, o) }
-		// One context per reducer task, reseeded per key: the lazy source
-		// makes the reseed a word store, where a fresh context per key paid
-		// three allocations. Reduce code only sees ctx during its call.
-		ctx := newTaskContext(job.Name, "reduce", r, 0)
-		ctx.observe = histObserver(&reduceCustom[r])
-		var perKeyStats map[string]KeyStats
+		run := execReduceTask(job, job.Seed, reducerGroups[r], reducerNames[r], r, perKey)
+		outputs[r] = run.out
+		reduceCounts[r] = run.inRecs
+		reduceCustom[r] = run.custom
 		if perKey {
-			perKeyStats = make(map[string]KeyStats, len(groups.keyOrder))
-		}
-		for i, k := range groups.keyOrder {
-			// Per-key RNG so the reduction of a key is reproducible no
-			// matter which reducer task it lands on.
-			ctx.Rand.Seed(taskSeed(job.Seed, "reduce", reducerNames[r][i]))
-			vs := groups.lists[i]
-			inRecs += int64(len(vs))
-			before := len(out)
-			job.Reducer.Reduce(ctx, k, vs, emit)
-			if perKey {
-				ks := perKeyStats[reducerNames[r][i]]
-				ks.Records += int64(len(vs))
-				ks.Output += int64(len(out) - before)
-				perKeyStats[reducerNames[r][i]] = ks
-			}
-		}
-		outputs[r] = out
-		reduceCounts[r] = inRecs
-		if perKey {
-			keyStats[r] = perKeyStats
+			keyStats[r] = run.perKey
 		}
 		if tr != nil {
 			redDur[r] = elapsed() - redStart[r]

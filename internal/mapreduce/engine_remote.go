@@ -1,0 +1,353 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"time"
+)
+
+// runRemote executes a portable job through an Executor: map, combine and
+// reduce attempts run on the executor's workers (subprocess pools, TCP
+// workers, ...) while the coordinator — this function — keeps everything
+// that defines the engine's observable behavior: scheduling, fault-model
+// accounting, metric folding and span emission, in exactly the order the
+// in-process path (Run) uses. Under a frozen clock and fixed seed the span
+// stream and job output are byte-identical to in-process execution, modulo
+// the Span.Worker tag; that is the contract the cross-backend golden test
+// locks in.
+//
+// Differences from the in-process path are confined to genuine distribution
+// effects: task payloads travel serialized (gob, the Transport wire format),
+// and real worker failures surface as extra failed attempt spans — tagged
+// with the worker that died — ahead of the deterministic fault-model
+// attempts.
+func runRemote[I any, K comparable, V any, O any](
+	c *Cluster, job *Job[I, K, V, O], splits [][]I, numReducers int,
+	exec Executor, transport Transport, tr Tracer, met *Metrics,
+	now func() time.Time, start time.Time,
+) (*Result[O], error) {
+	elapsed := func() time.Duration { return now().Sub(start) }
+	perKey := c.PerKeyMetrics || tr != nil
+	logDebug := slog.Default().Enabled(context.Background(), slog.LevelDebug)
+	// Any injected clock (FrozenClock above all) cannot be shared with a
+	// worker process, so workers report zero wall durations and every
+	// coordinator-side timestamp comes from the injected clock — which is
+	// what keeps traced runs reproducible.
+	frozen := c.Clock != nil
+
+	// ---- Map phase (pipelined: each task's buckets ship as they exist) ----
+	type remoteMapState struct {
+		payloads     [][]byte // per-reducer payloads, retained without a transport
+		counters     TaskCounters
+		custom       map[string]*Histogram
+		worker       string
+		failed       []TaskAttempt
+		shuffleBytes int64
+		bucketBytes  Histogram
+		startOff, mapDone, combineDone, sendDone time.Duration
+	}
+	states := make([]remoteMapState, len(splits))
+	taskErrs := make([]error, len(splits))
+
+	runParallel(len(splits), c.workers(), func(task int) {
+		st := &states[task]
+		if tr != nil {
+			st.startOff = elapsed()
+		}
+		splitPayload, err := gobEncode(splits[task])
+		if err != nil {
+			taskErrs[task] = fmt.Errorf("encoding split of map task %d: %w", task, err)
+			return
+		}
+		res, err := exec.Execute(&TaskSpec{
+			Job: job.Name, Maker: job.Maker, Config: job.Config,
+			Phase: "map", Task: task, Seed: job.Seed,
+			NumReducers: numReducers, Split: splitPayload, Frozen: frozen,
+		})
+		if err != nil {
+			taskErrs[task] = fmt.Errorf("map task %d on %s executor: %w", task, exec.Name(), err)
+			return
+		}
+		st.counters = res.Counters
+		st.custom = res.Custom
+		st.worker = res.Worker
+		st.failed = res.FailedAttempts
+		if tr != nil {
+			st.mapDone = st.startOff + res.Counters.MapWall
+			st.combineDone = st.mapDone + res.Counters.CombineWall
+		}
+		if transport != nil {
+			for r, payload := range res.Buckets {
+				n, err := transport.Send(task, r, payload)
+				if err != nil {
+					taskErrs[task] = err
+					return
+				}
+				st.shuffleBytes += int64(n)
+				st.bucketBytes.Observe(int64(n))
+			}
+		} else {
+			// No transport: keep the payloads for the reduce phase and
+			// account the same approximate sizes the in-process engine
+			// would, so metrics agree across backends.
+			st.payloads = res.Buckets
+			for _, n := range res.Counters.BucketSizes {
+				st.shuffleBytes += n
+				st.bucketBytes.Observe(n)
+			}
+		}
+		if tr != nil {
+			st.sendDone = elapsed()
+		}
+	})
+	for _, err := range taskErrs {
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", job.Name, err)
+		}
+	}
+
+	mapDurations := make([]time.Duration, len(splits))
+	for t := range states {
+		st := &states[t]
+		met.MapInputRecords += st.counters.In
+		met.MapOutputRecords += st.counters.Out
+		met.CombineInputRecs += st.counters.CombineIn
+		met.CombineOutputRecs += st.counters.CombineOut
+		met.ShuffleBytes += st.shuffleBytes
+		met.BucketBytes.Merge(st.bucketBytes)
+		met.mergeCustom(st.custom)
+		base := c.Cost.TaskOverhead +
+			time.Duration(st.counters.In)*c.Cost.MapPerRecord +
+			time.Duration(st.counters.CombineIn)*c.Cost.CombinePerRecord
+		plan, err := c.Faults.plan("map", t)
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", job.Name, err)
+		}
+		met.MapAttempts += int64(plan.attempts + len(st.failed))
+		mapDurations[t] = time.Duration(float64(base) * plan.factor)
+		met.MapTaskNanos.Observe(int64(mapDurations[t]))
+		if tr != nil {
+			sent := st.counters.Out
+			if job.Combiner != nil {
+				sent = st.counters.CombineOut
+			}
+			// Real failures first: a crashed worker or an expired lease is
+			// an attempt that genuinely ran (partially) and died, so it
+			// precedes the deterministic fault-model attempts. Without
+			// failures this loop is empty and the stream matches in-process
+			// execution exactly.
+			attempt := 0
+			for _, fa := range st.failed {
+				attempt++
+				tr.Emit(Span{
+					Job: job.Name, Phase: PhaseMap, Task: t, Attempt: attempt,
+					Failed: true, Start: st.startOff, Worker: fa.Worker,
+				})
+			}
+			for a := 0; a < plan.attempts; a++ {
+				s := Span{
+					Job: job.Name, Phase: PhaseMap, Task: t, Attempt: attempt + a + 1,
+					Failed:    a < plan.attempts-1,
+					Start:     st.startOff,
+					Simulated: time.Duration(float64(base) * plan.attemptFactor(a)),
+					Records:   st.counters.In, Out: st.counters.Out,
+					Worker: st.worker,
+				}
+				if a == plan.attempts-1 {
+					s.Wall = st.mapDone - st.startOff
+				}
+				tr.Emit(s)
+			}
+			if job.Combiner != nil {
+				tr.Emit(Span{
+					Job: job.Name, Phase: PhaseCombine, Task: t,
+					Start: st.mapDone, Wall: st.combineDone - st.mapDone,
+					Records: st.counters.CombineIn, Out: st.counters.CombineOut,
+					Worker: st.worker,
+				})
+			}
+			tr.Emit(Span{
+				Job: job.Name, Phase: PhaseShuffleSend, Task: t,
+				Start: st.combineDone, Wall: st.sendDone - st.combineDone,
+				Records: sent, Bytes: st.shuffleBytes,
+				Worker: st.worker,
+			})
+		}
+	}
+	met.SimulatedMap = makespan(mapDurations, c.Slots())
+	if logDebug {
+		slog.Debug("mapreduce map phase done", "job", job.Name, "backend", exec.Name(),
+			"tasks", met.MapTasks, "attempts", met.MapAttempts,
+			"records_in", met.MapInputRecords, "records_out", met.MapOutputRecords,
+			"simulated", met.SimulatedMap, "wall", elapsed())
+	}
+
+	// ---- Shuffle fetch + reduce phase (one worker round-trip per reducer) ----
+	outputs := make([][]O, numReducers)
+	redCounters := make([]TaskCounters, numReducers)
+	redCustom := make([]map[string]*Histogram, numReducers)
+	redPerKey := make([]map[string]KeyStats, numReducers)
+	redWorker := make([]string, numReducers)
+	redFailed := make([][]TaskAttempt, numReducers)
+	reducerErrs := make([]error, numReducers)
+	var recvStart, recvDur, redStart, redDur []time.Duration
+	var recvBytes []int64
+	if tr != nil {
+		recvStart = make([]time.Duration, numReducers)
+		recvDur = make([]time.Duration, numReducers)
+		redStart = make([]time.Duration, numReducers)
+		redDur = make([]time.Duration, numReducers)
+		recvBytes = make([]int64, numReducers)
+	}
+
+	runParallel(numReducers, c.workers(), func(r int) {
+		if tr != nil {
+			recvStart[r] = elapsed()
+		}
+		var payloads [][]byte
+		if transport != nil {
+			var err error
+			payloads, err = transport.Receive(r, len(splits))
+			if err != nil {
+				reducerErrs[r] = fmt.Errorf("reducer %d: %w", r, err)
+				return
+			}
+			if tr != nil {
+				for _, p := range payloads {
+					recvBytes[r] += int64(len(p))
+				}
+			}
+		} else {
+			payloads = make([][]byte, len(states))
+			for t := range states {
+				payloads[t] = states[t].payloads[r]
+				if tr != nil {
+					recvBytes[r] += states[t].counters.BucketSizes[r]
+				}
+			}
+		}
+		if tr != nil {
+			recvDur[r] = elapsed() - recvStart[r]
+			redStart[r] = elapsed()
+		}
+		res, err := exec.Execute(&TaskSpec{
+			Job: job.Name, Maker: job.Maker, Config: job.Config,
+			Phase: "reduce", Task: r, Seed: job.Seed,
+			NumReducers: numReducers, Buckets: payloads,
+			CollectKeys: perKey, Frozen: frozen,
+		})
+		if err != nil {
+			reducerErrs[r] = fmt.Errorf("reduce task %d on %s executor: %w", r, exec.Name(), err)
+			return
+		}
+		out, err := DecodeTaskOutput[O](res.Output)
+		if err != nil {
+			reducerErrs[r] = fmt.Errorf("reducer %d: %w", r, err)
+			return
+		}
+		outputs[r] = out
+		redCounters[r] = res.Counters
+		redCustom[r] = res.Custom
+		redPerKey[r] = res.PerKey
+		redWorker[r] = res.Worker
+		redFailed[r] = res.FailedAttempts
+		if tr != nil {
+			redDur[r] = elapsed() - redStart[r]
+		}
+	})
+	for _, err := range reducerErrs {
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", job.Name, err)
+		}
+	}
+	for r := 0; r < numReducers; r++ {
+		met.ShuffleRecords += redCounters[r].In
+		if tr != nil {
+			tr.Emit(Span{
+				Job: job.Name, Phase: PhaseShuffleRecv, Task: r,
+				Start: recvStart[r], Wall: recvDur[r],
+				Simulated: time.Duration(recvBytes[r]) * c.Cost.ShufflePerByte,
+				Records:   redCounters[r].In, Bytes: recvBytes[r],
+			})
+		}
+	}
+	met.SimulatedShuffle = time.Duration(met.ShuffleBytes) * c.Cost.ShufflePerByte
+	if logDebug {
+		slog.Debug("mapreduce shuffle done", "job", job.Name, "backend", exec.Name(),
+			"records", met.ShuffleRecords, "bytes", met.ShuffleBytes,
+			"simulated", met.SimulatedShuffle, "wall", elapsed())
+	}
+
+	reduceDurations := make([]time.Duration, numReducers)
+	var final []O
+	for r := 0; r < numReducers; r++ {
+		met.ReduceInputGroups += redCounters[r].Groups
+		met.ReduceInputRecs += redCounters[r].In
+		met.OutputRecords += int64(len(outputs[r]))
+		met.mergeCustom(redCustom[r])
+		if perKey {
+			if met.PerKey == nil {
+				met.PerKey = make(map[string]KeyStats, len(redPerKey[r]))
+			}
+			for key, ks := range redPerKey[r] {
+				acc := met.PerKey[key]
+				acc.Records += ks.Records
+				acc.Output += ks.Output
+				met.PerKey[key] = acc
+			}
+		}
+		base := c.Cost.TaskOverhead + time.Duration(redCounters[r].In)*c.Cost.ReducePerRecord
+		plan, err := c.Faults.plan("reduce", r)
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", job.Name, err)
+		}
+		met.ReduceAttempts += int64(plan.attempts + len(redFailed[r]))
+		reduceDurations[r] = time.Duration(float64(base) * plan.factor)
+		met.ReduceTaskNanos.Observe(int64(reduceDurations[r]))
+		if tr != nil {
+			attempt := 0
+			for _, fa := range redFailed[r] {
+				attempt++
+				tr.Emit(Span{
+					Job: job.Name, Phase: PhaseReduce, Task: r, Attempt: attempt,
+					Failed: true, Start: redStart[r], Worker: fa.Worker,
+				})
+			}
+			for a := 0; a < plan.attempts; a++ {
+				s := Span{
+					Job: job.Name, Phase: PhaseReduce, Task: r, Attempt: attempt + a + 1,
+					Failed:    a < plan.attempts-1,
+					Start:     redStart[r],
+					Simulated: time.Duration(float64(base) * plan.attemptFactor(a)),
+					Records:   redCounters[r].In,
+					Groups:    redCounters[r].Groups,
+					Out:       int64(len(outputs[r])),
+					Worker:    redWorker[r],
+				}
+				if a == plan.attempts-1 {
+					s.Wall = redDur[r]
+				}
+				tr.Emit(s)
+			}
+		}
+		final = append(final, outputs[r]...)
+	}
+	met.SimulatedReduce = makespan(reduceDurations, c.Slots())
+	met.WallTime = elapsed()
+	if tr != nil {
+		tr.Emit(Span{
+			Job: job.Name, Phase: PhaseJob,
+			Wall: met.WallTime, Simulated: met.SimulatedTotal(),
+			Records: met.MapInputRecords, Out: met.OutputRecords,
+			Groups: met.ReduceInputGroups, Bytes: met.ShuffleBytes,
+		})
+	}
+	if logDebug {
+		slog.Debug("mapreduce job done", "job", job.Name, "backend", exec.Name(),
+			"output_records", met.OutputRecords, "groups", met.ReduceInputGroups,
+			"attempts", met.MapAttempts+met.ReduceAttempts,
+			"simulated", met.SimulatedTotal(), "wall", met.WallTime)
+	}
+	return &Result[O]{Output: final, Metrics: *met}, nil
+}

@@ -1,0 +1,128 @@
+package mapreduce
+
+import "time"
+
+// TaskSpec is one task attempt in backend-portable form: everything a worker
+// process needs to reconstruct the job (Maker + Config), seed its RNGs
+// identically to an in-process run (Seed, Task, Phase), and the input bytes.
+// Payloads are the engine's existing shuffle encoding (gob), so the wire
+// format is shared with the Transport path.
+type TaskSpec struct {
+	// Job is the job name, used in task contexts and error messages.
+	Job string
+	// Maker names the job factory registered with RegisterJobMaker; Config
+	// is its gob-encoded argument. Together they make the job portable: a
+	// worker that links the same registrations rebuilds mapper, combiner,
+	// reducer, partitioner and key renderer from them.
+	Maker  string
+	Config []byte
+	// Phase is "map" or "reduce".
+	Phase string
+	// Task is the map-task or reduce-task index.
+	Task int
+	// Seed is the job seed; per-task and per-key seeds derive from it
+	// exactly as in-process, which keeps output byte-identical.
+	Seed int64
+	// NumReducers is the job's reducer count (map tasks partition by it).
+	NumReducers int
+	// Split is the gob-encoded input split of a map task.
+	Split []byte
+	// Buckets are the reduce task's shuffle payloads in map-task order.
+	Buckets [][]byte
+	// CollectKeys asks a reduce attempt for per-key (per-stratum) counters.
+	CollectKeys bool
+	// Frozen tells the worker the coordinator runs under a FrozenClock: it
+	// must report zero wall durations so traced runs stay byte-identical
+	// across backends.
+	Frozen bool
+}
+
+// TaskCounters are the measured counters of one executed task attempt.
+type TaskCounters struct {
+	// In, Out count task input and output records. For reduce attempts In
+	// is the shuffled record count and Groups the distinct keys reduced.
+	In, Out int64
+	// CombineIn, CombineOut count the combiner's records on map attempts.
+	CombineIn, CombineOut int64
+	// Groups is the number of distinct keys a reduce attempt processed.
+	Groups int64
+	// BucketSizes are the approximate (bucketApproxSize) per-reducer sizes
+	// of a map attempt's buckets — what the coordinator accounts as shuffle
+	// bytes when no Transport is installed, keeping metrics identical to an
+	// in-process run.
+	BucketSizes []int64
+	// MapWall and CombineWall are worker-measured stage durations (zero
+	// under a frozen clock).
+	MapWall, CombineWall time.Duration
+}
+
+// TaskAttempt records one real failed attempt of a task: the worker it was
+// leased to and why it failed. Unlike FaultModel attempts — which are
+// simulated and deterministic — these are genuine runtime failures (a worker
+// crashed or its lease expired), so they appear only when something actually
+// went wrong.
+type TaskAttempt struct {
+	// Worker identifies the worker the attempt ran on.
+	Worker string
+	// Err describes the failure.
+	Err string
+}
+
+// TaskResult is the outcome of one successfully executed task attempt.
+type TaskResult struct {
+	// Buckets are a map attempt's per-reducer shuffle payloads
+	// (encodeBucket format, exactly what the Transport path ships).
+	Buckets [][]byte
+	// Output is a reduce attempt's gob-encoded output record slice.
+	Output []byte
+	// Counters are the attempt's measured counters.
+	Counters TaskCounters
+	// Custom are the histograms user code observed via TaskContext.Observe.
+	Custom map[string]*Histogram
+	// PerKey are the reduce attempt's per-key counters when requested.
+	PerKey map[string]KeyStats
+	// Worker identifies the worker that produced this result.
+	Worker string
+	// FailedAttempts lists real attempts that died before this one
+	// succeeded (crashes, lease expiries); the engine surfaces them as
+	// failed spans and extra attempt counts.
+	FailedAttempts []TaskAttempt
+}
+
+// Executor runs task attempts for the engine. The engine keeps all
+// scheduling, fault simulation, metrics folding and span emission; an
+// executor only answers "run this spec, give me the result", possibly on
+// another process or machine. Execute must be safe for concurrent calls —
+// the engine issues up to Cluster.workers() of them at once. Execute is
+// expected to retry transient worker failures internally (recording them in
+// TaskResult.FailedAttempts) and return an error only when the task is
+// undeliverable.
+type Executor interface {
+	// Name identifies the backend ("inproc", "subprocess", "tcp") in logs
+	// and errors.
+	Name() string
+	// Execute runs one task attempt to completion.
+	Execute(spec *TaskSpec) (*TaskResult, error)
+	// Close drains and releases the executor's workers. The executor
+	// outlives individual jobs; close it when the process is done.
+	Close() error
+}
+
+// InprocExecutor executes task specs in-process through the same registry
+// path remote workers use. Installing it on a cluster is equivalent to
+// leaving Cluster.Executor nil — the engine recognizes it and keeps the
+// faster closure-based path — but Execute is also usable directly, which is
+// how tests verify that the registry round-trip is byte-identical to native
+// execution.
+type InprocExecutor struct{}
+
+// Name reports "inproc".
+func (*InprocExecutor) Name() string { return "inproc" }
+
+// Execute runs the spec through the job-maker registry in this process.
+func (*InprocExecutor) Execute(spec *TaskSpec) (*TaskResult, error) {
+	return ExecuteTask(spec)
+}
+
+// Close is a no-op.
+func (*InprocExecutor) Close() error { return nil }

@@ -1,0 +1,216 @@
+package mapreduce
+
+import (
+	"bytes"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// The tests here pin the executor seam's core contract: a job routed
+// through the portable path — (Maker, Config) registry, gob-serialized
+// splits and buckets, TaskSpec/TaskResult round-trips — produces output,
+// metrics and (under a frozen clock) span streams byte-identical to the
+// in-process engine.
+
+// remoteModCountJob is a portable test job exercising every seam the
+// backends must agree on: a combiner (canonical combine order), a custom
+// KeyString, per-key reducer randomness (per-key reseeding), and Observe
+// (custom histogram transport).
+func remoteModCountJob() *Job[int, int, int64, int64] {
+	return &Job[int, int, int64, int64]{
+		Name: "remote-modcount",
+		Mapper: MapperFunc[int, int, int64](func(_ *TaskContext, v int, emit func(int, int64)) {
+			emit(v%53, int64(v))
+		}),
+		Combiner: CombinerFunc[int, int64](func(ctx *TaskContext, _ int, vs []int64, emit func(int64)) {
+			var sum int64
+			for _, v := range vs {
+				sum += v
+			}
+			ctx.Observe("combine_in", int64(len(vs)))
+			emit(sum)
+		}),
+		Reducer: ReducerFunc[int, int64, int64](func(ctx *TaskContext, k int, vs []int64, emit func(int64)) {
+			var sum int64
+			for _, v := range vs {
+				sum += v
+			}
+			// The random draw pins per-key RNG seeding: any backend that
+			// seeds differently produces different output.
+			emit(sum + ctx.Rand.Int63n(1000))
+		}),
+		KeyString: func(k int) string { return "k" + strconv.Itoa(k) },
+	}
+}
+
+func init() {
+	RegisterJobMaker("test-remote-modcount",
+		func(config []byte) (*Job[int, int, int64, int64], error) {
+			return remoteModCountJob(), nil
+		})
+}
+
+// loopbackExecutor drives the full remote path (runRemote + registry +
+// serialization) without processes: Execute is what a worker would run.
+type loopbackExecutor struct{}
+
+func (loopbackExecutor) Name() string                                { return "loopback" }
+func (loopbackExecutor) Execute(spec *TaskSpec) (*TaskResult, error) { return ExecuteTask(spec) }
+func (loopbackExecutor) Close() error                                { return nil }
+
+func remoteTestSplits() [][]int {
+	splits := make([][]int, 7)
+	for s := range splits {
+		rows := make([]int, 400+13*s)
+		for i := range rows {
+			rows[i] = s*1000 + i*3
+		}
+		splits[s] = rows
+	}
+	return splits
+}
+
+func remoteTestCluster() *Cluster {
+	return &Cluster{
+		Slaves: 3, SlotsPerSlave: 2, Cost: DefaultCostModel(),
+		Clock: FrozenClock(time.Unix(0, 0)),
+	}
+}
+
+func portableJob(seed int64) *Job[int, int, int64, int64] {
+	job := remoteModCountJob()
+	job.Seed = seed
+	job.Maker = "test-remote-modcount"
+	return job
+}
+
+func TestRemoteExecutorMatchesInproc(t *testing.T) {
+	splits := remoteTestSplits()
+	want, err := Run(remoteTestCluster(), portableJob(42), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := remoteTestCluster()
+	remote.Executor = loopbackExecutor{}
+	got, err := Run(remote, portableJob(42), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Output, got.Output) {
+		t.Errorf("remote output differs from in-process:\n in: %v\nout: %v", want.Output, got.Output)
+	}
+	if !reflect.DeepEqual(want.Metrics, got.Metrics) {
+		t.Errorf("remote metrics differ from in-process:\n in: %+v\nout: %+v", want.Metrics, got.Metrics)
+	}
+}
+
+func TestRemoteExecutorMatchesInprocWithTransport(t *testing.T) {
+	splits := remoteTestSplits()
+	inproc := remoteTestCluster()
+	inproc.NewTransport = func() (Transport, error) { return NewMemTransport(), nil }
+	want, err := Run(inproc, portableJob(7), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := remoteTestCluster()
+	remote.NewTransport = func() (Transport, error) { return NewMemTransport(), nil }
+	remote.Executor = loopbackExecutor{}
+	got, err := Run(remote, portableJob(7), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Output, got.Output) {
+		t.Errorf("remote output differs from in-process over a transport")
+	}
+	if want.Metrics.ShuffleBytes != got.Metrics.ShuffleBytes {
+		t.Errorf("wire shuffle bytes: in-process %d, remote %d",
+			want.Metrics.ShuffleBytes, got.Metrics.ShuffleBytes)
+	}
+}
+
+// TestRemoteGoldenSpans locks the executor seam's observability contract:
+// under a frozen clock the remote path's span file is byte-identical to the
+// in-process one (the loopback executor reports no worker id, so not even
+// normalization is needed).
+func TestRemoteGoldenSpans(t *testing.T) {
+	splits := remoteTestSplits()
+	faults := &FaultModel{TaskFailureProb: 0.3, Seed: 99}
+
+	run := func(exec Executor) []byte {
+		var buf bytes.Buffer
+		c := remoteTestCluster()
+		c.Faults = faults
+		tr := NewJSONLTracer(&buf)
+		c.Tracer = tr
+		c.Executor = exec
+		if _, err := Run(c, portableJob(11), splits); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("no spans written")
+		}
+		return buf.Bytes()
+	}
+	inproc := run(nil)
+	remote := run(loopbackExecutor{})
+	if !bytes.Equal(inproc, remote) {
+		t.Errorf("span files differ between in-process and remote execution:\n--- inproc ---\n%s\n--- remote ---\n%s", inproc, remote)
+	}
+}
+
+// TestNonPortableJobFallsBack checks that a closure-only job (no Maker)
+// still runs correctly when a remote executor is installed: the engine
+// keeps it in-process instead of failing.
+func TestNonPortableJobFallsBack(t *testing.T) {
+	splits := remoteTestSplits()
+	want, err := Run(remoteTestCluster(), portableJob(5), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := remoteTestCluster()
+	c.Executor = loopbackExecutor{}
+	job := remoteModCountJob() // no Maker set
+	job.Seed = 5
+	got, err := Run(c, job, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Output, got.Output) {
+		t.Errorf("fallback output differs from in-process run")
+	}
+}
+
+// TestInprocExecutorIsRecognized checks the engine treats an installed
+// *InprocExecutor like no executor (the fast closure path), and that its
+// Execute method still works standalone through the registry.
+func TestInprocExecutorIsRecognized(t *testing.T) {
+	c := remoteTestCluster()
+	c.Executor = &InprocExecutor{}
+	if c.remoteExecutor() != nil {
+		t.Fatal("InprocExecutor must not be treated as a remote executor")
+	}
+	splits := remoteTestSplits()
+	want, err := Run(remoteTestCluster(), portableJob(3), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(c, portableJob(3), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Output, got.Output) {
+		t.Errorf("InprocExecutor cluster output differs")
+	}
+}
+
+func TestExecuteTaskUnknownMaker(t *testing.T) {
+	_, err := ExecuteTask(&TaskSpec{Job: "x", Maker: "no-such-maker", Phase: "map"})
+	if err == nil {
+		t.Fatal("want error for unregistered maker")
+	}
+}

@@ -76,6 +76,13 @@ type Job[I any, K comparable, V any, O any] struct {
 	KeyString func(K) string
 	// Seed makes the job's task RNGs — and hence its output — reproducible.
 	Seed int64
+	// Maker names the job factory registered with RegisterJobMaker and
+	// Config carries its serialized argument. Together they make the job
+	// portable: a remote executor ships (Maker, Config) to worker processes
+	// that rebuild the job locally. Jobs with an empty Maker run in-process
+	// even when the cluster has a remote executor installed.
+	Maker  string
+	Config []byte
 }
 
 func (j *Job[I, K, V, O]) keyString(k K) string {

@@ -1,0 +1,202 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Remote workers cannot receive Go closures, so a job travels as a (Maker,
+// Config) pair: Maker names a factory registered — in every process that
+// might run the job's tasks — with RegisterJobMaker, and Config is the
+// factory's serialized argument (the query, schema, options...). The worker
+// rebuilds the full Job from them and executes task specs through the same
+// task cores (task.go) the in-process engine uses, so output stays
+// byte-identical across backends.
+
+// taskRunner is a type-erased portable job: the registry stores these so it
+// can dispatch specs without knowing the job's type parameters.
+type taskRunner interface {
+	runTask(spec *TaskSpec) (*TaskResult, error)
+}
+
+var registry = struct {
+	sync.Mutex
+	makers map[string]func(name string, config []byte) (taskRunner, error)
+	// cache holds built runners keyed by maker+config, so a worker serving
+	// many tasks of one job compiles its predicates once, not per attempt.
+	// Workers run a handful of job families; the cache stays small.
+	cache map[string]taskRunner
+}{
+	makers: make(map[string]func(name string, config []byte) (taskRunner, error)),
+	cache:  make(map[string]taskRunner),
+}
+
+// RegisterJobMaker registers a named job factory. Call it from an init
+// function of the package that builds the job, so every binary linking that
+// package — the coordinator and its workers alike — can reconstruct the job
+// from its serialized config. It panics on duplicate names, like gob.Register.
+//
+// The factory receives the TaskSpec's Config bytes and must deterministically
+// rebuild the job: mapper, combiner, reducer, Partition and KeyString all
+// included. Name and Seed are overridden from the spec, so the factory need
+// not set them.
+func RegisterJobMaker[I any, K comparable, V any, O any](name string, maker func(config []byte) (*Job[I, K, V, O], error)) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.makers[name]; dup {
+		panic(fmt.Sprintf("mapreduce: RegisterJobMaker: duplicate maker %q", name))
+	}
+	registry.makers[name] = func(jobName string, config []byte) (taskRunner, error) {
+		job, err := maker(config)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: maker %q: %w", name, err)
+		}
+		job.Name = jobName
+		return &jobRunner[I, K, V, O]{job: job}, nil
+	}
+}
+
+// runnerFor returns the (possibly cached) runner for the spec's job.
+func runnerFor(spec *TaskSpec) (taskRunner, error) {
+	key := spec.Maker + "\x00" + spec.Job + "\x00" + string(spec.Config)
+	registry.Lock()
+	defer registry.Unlock()
+	if r, ok := registry.cache[key]; ok {
+		return r, nil
+	}
+	mk, ok := registry.makers[spec.Maker]
+	if !ok {
+		return nil, fmt.Errorf("mapreduce: no job maker registered as %q (worker binary missing a registration?)", spec.Maker)
+	}
+	r, err := mk(spec.Job, spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	registry.cache[key] = r
+	return r, nil
+}
+
+// ExecuteTask runs one portable task spec in this process: the worker-side
+// entry point (and the InprocExecutor's implementation).
+func ExecuteTask(spec *TaskSpec) (*TaskResult, error) {
+	r, err := runnerFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	return r.runTask(spec)
+}
+
+// jobRunner adapts a concrete Job to the type-erased taskRunner interface.
+type jobRunner[I any, K comparable, V any, O any] struct {
+	job *Job[I, K, V, O]
+}
+
+func (jr *jobRunner[I, K, V, O]) runTask(spec *TaskSpec) (*TaskResult, error) {
+	switch spec.Phase {
+	case "map":
+		return jr.runMap(spec)
+	case "reduce":
+		return jr.runReduce(spec)
+	default:
+		return nil, fmt.Errorf("mapreduce: task spec for job %q has unknown phase %q", spec.Job, spec.Phase)
+	}
+}
+
+// taskClock returns a stage-boundary timer for worker-side execution: nil
+// under a frozen coordinator clock (walls must stay zero for cross-backend
+// span determinism), otherwise offsets from the task's own start.
+func taskClock(spec *TaskSpec) func() time.Duration {
+	if spec.Frozen {
+		return nil
+	}
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+func (jr *jobRunner[I, K, V, O]) runMap(spec *TaskSpec) (*TaskResult, error) {
+	var split []I
+	if err := gobDecode(spec.Split, &split); err != nil {
+		return nil, fmt.Errorf("mapreduce: decoding split of map task %d: %w", spec.Task, err)
+	}
+	run := execMapTask(jr.job, spec.Seed, split, spec.Task, spec.NumReducers, taskClock(spec))
+	res := &TaskResult{
+		Buckets: make([][]byte, len(run.buckets)),
+		Counters: TaskCounters{
+			In: run.in, Out: run.out,
+			CombineIn: run.combineIn, CombineOut: run.combineOut,
+			BucketSizes: make([]int64, len(run.buckets)),
+			MapWall:     run.mapDone,
+			CombineWall: run.combineDone - run.mapDone,
+		},
+		Custom: run.custom,
+	}
+	for r := range run.buckets {
+		payload, err := encodeBucket(run.buckets[r])
+		if err != nil {
+			return nil, err
+		}
+		res.Buckets[r] = payload
+		res.Counters.BucketSizes[r] = bucketApproxSize(run.buckets[r])
+	}
+	return res, nil
+}
+
+func (jr *jobRunner[I, K, V, O]) runReduce(spec *TaskSpec) (*TaskResult, error) {
+	parts := make([][]Pair[K, V], len(spec.Buckets))
+	for task, payload := range spec.Buckets {
+		pairs, err := decodeBucket[K, V](payload)
+		if err != nil {
+			// Payloads arrive in map-task order, so the index names the
+			// originating map task — same diagnostics as the engine's own
+			// shuffle decode.
+			return nil, fmt.Errorf("mapreduce: reducer %d: bucket from map task %d: %w", spec.Task, task, err)
+		}
+		parts[task] = pairs
+	}
+	groups := groupPairs(parts)
+	names := groups.sortByName(jr.job.keyString)
+	run := execReduceTask(jr.job, spec.Seed, groups, names, spec.Task, spec.CollectKeys)
+	payload, err := gobEncode(run.out)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: encoding reduce %d output: %w", spec.Task, err)
+	}
+	return &TaskResult{
+		Output: payload,
+		Counters: TaskCounters{
+			In:     run.inRecs,
+			Out:    int64(len(run.out)),
+			Groups: int64(len(groups.keyOrder)),
+		},
+		Custom: run.custom,
+		PerKey: run.perKey,
+	}, nil
+}
+
+// DecodeTaskOutput decodes a reduce attempt's Output payload back into
+// records. The coordinator-side engine uses it; it is exported for tests and
+// tools that inspect raw results.
+func DecodeTaskOutput[O any](payload []byte) ([]O, error) {
+	var out []O
+	if err := gobDecode(payload, &out); err != nil {
+		return nil, fmt.Errorf("mapreduce: decoding reduce output: %w", err)
+	}
+	return out, nil
+}
+
+// gobEncode serializes v with gob (deterministic for a fixed static type and
+// value, since every payload uses a fresh encoder).
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// gobDecode reverses gobEncode into the pointed-to value.
+func gobDecode(payload []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}

@@ -60,6 +60,12 @@ type Span struct {
 	// Bytes is the byte volume a shuffle span moved (wire bytes with a
 	// Transport installed, approximated otherwise).
 	Bytes int64 `json:"bytes,omitempty"`
+	// Worker identifies the worker that ran the attempt when the cluster
+	// executes on a remote backend (subprocess or TCP workers); empty for
+	// in-process execution. Comparisons of span files across backends should
+	// normalize this field: worker assignment races the pool's scheduling, so
+	// it is the one deliberately nondeterministic span field.
+	Worker string `json:"worker,omitempty"`
 }
 
 // Tracer receives spans from the engine. Implementations must be safe for

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Transport moves serialized shuffle buckets from map tasks to reducers. The
@@ -30,6 +31,26 @@ type Transport interface {
 	Receive(reducer, expect int) ([][]byte, error)
 	// Close releases the transport's resources.
 	Close() error
+}
+
+// ReceiveTimeoutError reports that a reducer gave up waiting for a map task's
+// shuffle bucket: the sender died, hung, or was reassigned. Task is the first
+// missing map task. The worker runtime's lease-expiry path matches it with
+// errors.As to distinguish "the data never came" from decode errors when
+// deciding whether a reduce attempt is retryable.
+type ReceiveTimeoutError struct {
+	// Reducer is the waiting reduce task.
+	Reducer int
+	// Task is the lowest-numbered map task whose bucket never arrived.
+	Task int
+	// Timeout is the configured receive deadline that expired.
+	Timeout time.Duration
+}
+
+// Error renders the timeout, naming both ends of the missing transfer.
+func (e *ReceiveTimeoutError) Error() string {
+	return fmt.Sprintf("mapreduce: reducer %d timed out waiting for task %d (after %v)",
+		e.Reducer, e.Task, e.Timeout)
 }
 
 // memTransport is a trivial in-process Transport used for testing the
@@ -92,6 +113,14 @@ func (m *memTransport) Close() error { return nil }
 type TCPTransport struct {
 	listener net.Listener
 	addr     string
+
+	// ReceiveTimeout bounds how long Receive blocks for a missing bucket.
+	// Zero (the default) waits forever — safe in-process, where a dead
+	// sender already failed the job, but a real worker backend must set it:
+	// a crashed remote mapper would otherwise hang every reducer. On expiry
+	// Receive returns a *ReceiveTimeoutError naming the first missing map
+	// task. Set it before the first Receive call.
+	ReceiveTimeout time.Duration
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -209,15 +238,37 @@ func (t *TCPTransport) Send(task, reducer int, payload []byte) (int, error) {
 	return len(frame), nil
 }
 
-// Receive blocks until all map tasks' buckets for the reducer arrived.
+// Receive blocks until all map tasks' buckets for the reducer arrived, or —
+// when ReceiveTimeout is set — until the deadline expires, in which case it
+// returns a *ReceiveTimeoutError naming the first missing map task.
 func (t *TCPTransport) Receive(reducer, expect int) ([][]byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for t.err == nil && len(t.buckets[reducer]) < expect {
+	expired := false
+	if t.ReceiveTimeout > 0 {
+		timer := time.AfterFunc(t.ReceiveTimeout, func() {
+			t.mu.Lock()
+			expired = true
+			t.cond.Broadcast()
+			t.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	for t.err == nil && !expired && len(t.buckets[reducer]) < expect {
 		t.cond.Wait()
 	}
 	if t.err != nil {
 		return nil, t.err
+	}
+	if got := t.buckets[reducer]; len(got) < expect {
+		missing := 0
+		for task := 0; task < expect; task++ {
+			if _, ok := got[task]; !ok {
+				missing = task
+				break
+			}
+		}
+		return nil, &ReceiveTimeoutError{Reducer: reducer, Task: missing, Timeout: t.ReceiveTimeout}
 	}
 	got := t.buckets[reducer]
 	tasks := make([]int, 0, len(got))

@@ -27,20 +27,19 @@ type qsOut struct {
 	Sample []dataset.Tuple
 }
 
-// RunMQE answers a set of SSD queries in a single MapReduce pass (Algorithm
-// MR-MQE): the mapper emits a ((Q_i, s_k), ({t}, 1)) pair for every query
-// whose stratum the tuple satisfies; combine and reduce are as in MR-SQE.
-// It returns one answer per query, aligned with the queries slice.
-func RunMQE(c *mapreduce.Cluster, queries []*query.SSD, schema *dataset.Schema, splits []dataset.Split, opts Options) (query.MultiAnswer, mapreduce.Metrics, error) {
+// buildMQEJob constructs the MR-MQE job for a query set. The coordinator
+// and remote workers both build jobs through this function (workers via the
+// "mr-mqe" maker in portable.go).
+func buildMQEJob(queries []*query.SSD, schema *dataset.Schema, opts Options) (*mapreduce.Job[dataset.Tuple, QSKey, WeightedTuples, qsOut], error) {
 	if len(queries) == 0 {
-		return nil, mapreduce.Metrics{}, fmt.Errorf("stratified: no queries")
+		return nil, fmt.Errorf("stratified: no queries")
 	}
 	compiled := make([][]predicate.Pred, len(queries))
 	freqs := make(map[QSKey]int)
 	for qi, q := range queries {
 		ps, err := q.Compile(schema)
 		if err != nil {
-			return nil, mapreduce.Metrics{}, err
+			return nil, err
 		}
 		compiled[qi] = ps
 		for k, s := range q.Strata {
@@ -50,7 +49,6 @@ func RunMQE(c *mapreduce.Cluster, queries []*query.SSD, schema *dataset.Schema, 
 
 	job := &mapreduce.Job[dataset.Tuple, QSKey, WeightedTuples, qsOut]{
 		Name: "mr-mqe",
-		Seed: opts.Seed,
 		Mapper: mapreduce.MapperFunc[dataset.Tuple, QSKey, WeightedTuples](
 			func(_ *mapreduce.TaskContext, t dataset.Tuple, emit func(QSKey, WeightedTuples)) {
 				if _, skip := opts.Exclude[t.ID]; skip {
@@ -73,6 +71,25 @@ func RunMQE(c *mapreduce.Cluster, queries []*query.SSD, schema *dataset.Schema, 
 	}
 	if !opts.Naive {
 		job.Combiner = combiner(func(k QSKey) int { return freqs[k] })
+	}
+	return job, nil
+}
+
+// RunMQE answers a set of SSD queries in a single MapReduce pass (Algorithm
+// MR-MQE): the mapper emits a ((Q_i, s_k), ({t}, 1)) pair for every query
+// whose stratum the tuple satisfies; combine and reduce are as in MR-SQE.
+// It returns one answer per query, aligned with the queries slice.
+func RunMQE(c *mapreduce.Cluster, queries []*query.SSD, schema *dataset.Schema, splits []dataset.Split, opts Options) (query.MultiAnswer, mapreduce.Metrics, error) {
+	job, err := buildMQEJob(queries, schema, opts)
+	if err != nil {
+		return nil, mapreduce.Metrics{}, err
+	}
+	job.Seed = opts.Seed
+	if err := makePortable(job, "mr-mqe", mqeConfig{
+		Queries: queries, Fields: schema.Fields(),
+		Naive: opts.Naive, Exclude: sortedExclude(opts.Exclude),
+	}); err != nil {
+		return nil, mapreduce.Metrics{}, err
 	}
 
 	res, err := mapreduce.Run(c, job, tupleSplits(splits))

@@ -61,11 +61,17 @@ type stratumCountOut struct {
 	Count   int64
 }
 
-// CountStrata runs one MapReduce pass counting |σ_φk(R)| for every stratum.
-func CountStrata(c *mapreduce.Cluster, preds []predicate.Pred, splits []dataset.Split, seed int64) ([]int64, mapreduce.Metrics, error) {
-	job := &mapreduce.Job[dataset.Tuple, int, int64, stratumCountOut]{
+// buildCountJob constructs the stratum-counting job for a query's
+// conditions (frequencies are ignored). The coordinator and remote workers
+// both build jobs through this function (workers via the "mr-stratum-count"
+// maker in portable.go).
+func buildCountJob(q *query.SSD, schema *dataset.Schema) (*mapreduce.Job[dataset.Tuple, int, int64, stratumCountOut], error) {
+	preds, err := q.Compile(schema)
+	if err != nil {
+		return nil, err
+	}
+	return &mapreduce.Job[dataset.Tuple, int, int64, stratumCountOut]{
 		Name: "mr-stratum-count",
-		Seed: seed,
 		Mapper: mapreduce.MapperFunc[dataset.Tuple, int, int64](
 			func(_ *mapreduce.TaskContext, t dataset.Tuple, emit func(int, int64)) {
 				if k := query.MatchStratum(preds, &t); k >= 0 {
@@ -89,12 +95,27 @@ func CountStrata(c *mapreduce.Cluster, preds []predicate.Pred, splits []dataset.
 				emit(stratumCountOut{Stratum: k, Count: sum})
 			}),
 		KeyString: func(k int) string { return fmt.Sprintf("s%06d", k) },
+	}, nil
+}
+
+// CountStrata runs one MapReduce pass counting |σ_φk(R)| for every stratum
+// of the query (its frequencies are ignored).
+func CountStrata(c *mapreduce.Cluster, q *query.SSD, schema *dataset.Schema, splits []dataset.Split, seed int64) ([]int64, mapreduce.Metrics, error) {
+	job, err := buildCountJob(q, schema)
+	if err != nil {
+		return nil, mapreduce.Metrics{}, err
+	}
+	job.Seed = seed
+	if err := makePortable(job, "mr-stratum-count", countConfig{
+		Query: q, Fields: schema.Fields(),
+	}); err != nil {
+		return nil, mapreduce.Metrics{}, err
 	}
 	res, err := mapreduce.Run(c, job, tupleSplits(splits))
 	if err != nil {
 		return nil, mapreduce.Metrics{}, err
 	}
-	counts := make([]int64, len(preds))
+	counts := make([]int64, len(q.Strata))
 	for _, o := range res.Output {
 		counts[o.Stratum] = o.Count
 	}
@@ -107,11 +128,7 @@ func CountStrata(c *mapreduce.Cluster, preds []predicate.Pred, splits []dataset.
 // point of stratified sampling).
 func (q *PercentSSD) Absolutize(c *mapreduce.Cluster, schema *dataset.Schema, splits []dataset.Split, seed int64) (*query.SSD, mapreduce.Metrics, error) {
 	skeleton := q.skeleton(nil)
-	preds, err := skeleton.Compile(schema)
-	if err != nil {
-		return nil, mapreduce.Metrics{}, err
-	}
-	counts, met, err := CountStrata(c, preds, splits, seed)
+	counts, met, err := CountStrata(c, skeleton, schema, splits, seed)
 	if err != nil {
 		return nil, mapreduce.Metrics{}, err
 	}

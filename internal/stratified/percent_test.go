@@ -110,8 +110,7 @@ func TestCountStrataMatchesRelationCount(t *testing.T) {
 	r := genderPop(123, 77)
 	splits, _ := dataset.Partition(r, 3, dataset.Skewed, nil)
 	q := genderSSD(1, 1)
-	preds, _ := q.Compile(r.Schema())
-	counts, _, err := CountStrata(zeroCluster(3), preds, splits, 1)
+	counts, _, err := CountStrata(zeroCluster(3), q, r.Schema(), splits, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

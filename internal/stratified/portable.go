@@ -1,0 +1,126 @@
+package stratified
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+)
+
+// The paper's jobs travel to worker processes as (maker, config) pairs: the
+// maker name selects one of the factories registered here, and the config —
+// JSON, with stratum conditions in the textual formula syntax — carries
+// everything needed to rebuild the exact same job on the other side: the
+// query, the schema fields, and the run options that shape map/combine
+// behavior. Both the coordinator (RunSQE & co.) and the worker (via
+// mapreduce.ExecuteTask) construct their jobs through the same build
+// functions, so a task executes identically wherever it lands.
+
+// sqeConfig rebuilds an MR-SQE job (maker "mr-sqe").
+type sqeConfig struct {
+	Query   *query.SSD      `json:"query"`
+	Fields  []dataset.Field `json:"fields"`
+	Naive   bool            `json:"naive,omitempty"`
+	Exclude []int64         `json:"exclude,omitempty"`
+}
+
+// mqeConfig rebuilds an MR-MQE job (maker "mr-mqe").
+type mqeConfig struct {
+	Queries []*query.SSD    `json:"queries"`
+	Fields  []dataset.Field `json:"fields"`
+	Naive   bool            `json:"naive,omitempty"`
+	Exclude []int64         `json:"exclude,omitempty"`
+}
+
+// countConfig rebuilds a stratum-counting job (maker "mr-stratum-count");
+// the query's frequencies are ignored, only its conditions matter.
+type countConfig struct {
+	Query  *query.SSD      `json:"query"`
+	Fields []dataset.Field `json:"fields"`
+}
+
+func init() {
+	mapreduce.RegisterJobMaker("mr-sqe",
+		func(config []byte) (*mapreduce.Job[dataset.Tuple, int, WeightedTuples, stratumOut], error) {
+			var cfg sqeConfig
+			schema, err := decodePortable(config, &cfg, func() []dataset.Field { return cfg.Fields })
+			if err != nil {
+				return nil, err
+			}
+			return buildSQEJob(cfg.Query, schema, Options{
+				Naive: cfg.Naive, Exclude: excludeSet(cfg.Exclude),
+			})
+		})
+	mapreduce.RegisterJobMaker("mr-mqe",
+		func(config []byte) (*mapreduce.Job[dataset.Tuple, QSKey, WeightedTuples, qsOut], error) {
+			var cfg mqeConfig
+			schema, err := decodePortable(config, &cfg, func() []dataset.Field { return cfg.Fields })
+			if err != nil {
+				return nil, err
+			}
+			return buildMQEJob(cfg.Queries, schema, Options{
+				Naive: cfg.Naive, Exclude: excludeSet(cfg.Exclude),
+			})
+		})
+	mapreduce.RegisterJobMaker("mr-stratum-count",
+		func(config []byte) (*mapreduce.Job[dataset.Tuple, int, int64, stratumCountOut], error) {
+			var cfg countConfig
+			schema, err := decodePortable(config, &cfg, func() []dataset.Field { return cfg.Fields })
+			if err != nil {
+				return nil, err
+			}
+			return buildCountJob(cfg.Query, schema)
+		})
+}
+
+// decodePortable unmarshals a job config and rebuilds its schema.
+func decodePortable(config []byte, cfg any, fields func() []dataset.Field) (*dataset.Schema, error) {
+	if err := json.Unmarshal(config, cfg); err != nil {
+		return nil, fmt.Errorf("stratified: decoding job config: %w", err)
+	}
+	schema, err := dataset.NewSchema(fields()...)
+	if err != nil {
+		return nil, fmt.Errorf("stratified: rebuilding schema: %w", err)
+	}
+	return schema, nil
+}
+
+// makePortable attaches the (maker, config) pair that lets remote workers
+// rebuild the job.
+func makePortable[I any, K comparable, V any, O any](job *mapreduce.Job[I, K, V, O], maker string, cfg any) error {
+	payload, err := json.Marshal(cfg)
+	if err != nil {
+		return fmt.Errorf("stratified: encoding %s job config: %w", maker, err)
+	}
+	job.Maker, job.Config = maker, payload
+	return nil
+}
+
+// sortedExclude renders an exclusion set in deterministic (sorted) order, so
+// a job's config bytes — and with them worker-side job caching — don't
+// depend on map iteration order.
+func sortedExclude(exclude map[int64]struct{}) []int64 {
+	if len(exclude) == 0 {
+		return nil
+	}
+	ids := make([]int64, 0, len(exclude))
+	for id := range exclude {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func excludeSet(ids []int64) map[int64]struct{} {
+	if len(ids) == 0 {
+		return nil
+	}
+	set := make(map[int64]struct{}, len(ids))
+	for _, id := range ids {
+		set[id] = struct{}{}
+	}
+	return set
+}

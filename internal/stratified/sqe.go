@@ -43,12 +43,14 @@ type stratumOut struct {
 	Sample  []dataset.Tuple
 }
 
-// RunSQE answers a single SSD query over the distributed population and
-// returns the answer plus the job's metrics.
-func RunSQE(c *mapreduce.Cluster, q *query.SSD, schema *dataset.Schema, splits []dataset.Split, opts Options) (*query.Answer, mapreduce.Metrics, error) {
+// buildSQEJob constructs the MR-SQE job for one query. The coordinator and
+// remote workers both build jobs through this function (workers via the
+// "mr-sqe" maker in portable.go), which is what keeps task execution
+// identical across backends.
+func buildSQEJob(q *query.SSD, schema *dataset.Schema, opts Options) (*mapreduce.Job[dataset.Tuple, int, WeightedTuples, stratumOut], error) {
 	preds, err := q.Compile(schema)
 	if err != nil {
-		return nil, mapreduce.Metrics{}, err
+		return nil, err
 	}
 	freqs := make([]int, len(q.Strata))
 	for k, s := range q.Strata {
@@ -57,7 +59,6 @@ func RunSQE(c *mapreduce.Cluster, q *query.SSD, schema *dataset.Schema, splits [
 
 	job := &mapreduce.Job[dataset.Tuple, int, WeightedTuples, stratumOut]{
 		Name: "mr-sqe:" + q.Name,
-		Seed: opts.Seed,
 		Mapper: mapreduce.MapperFunc[dataset.Tuple, int, WeightedTuples](
 			func(_ *mapreduce.TaskContext, t dataset.Tuple, emit func(int, WeightedTuples)) {
 				if _, skip := opts.Exclude[t.ID]; skip {
@@ -75,6 +76,23 @@ func RunSQE(c *mapreduce.Cluster, q *query.SSD, schema *dataset.Schema, splits [
 	}
 	if !opts.Naive {
 		job.Combiner = combiner(func(k int) int { return freqs[k] })
+	}
+	return job, nil
+}
+
+// RunSQE answers a single SSD query over the distributed population and
+// returns the answer plus the job's metrics.
+func RunSQE(c *mapreduce.Cluster, q *query.SSD, schema *dataset.Schema, splits []dataset.Split, opts Options) (*query.Answer, mapreduce.Metrics, error) {
+	job, err := buildSQEJob(q, schema, opts)
+	if err != nil {
+		return nil, mapreduce.Metrics{}, err
+	}
+	job.Seed = opts.Seed
+	if err := makePortable(job, "mr-sqe", sqeConfig{
+		Query: q, Fields: schema.Fields(),
+		Naive: opts.Naive, Exclude: sortedExclude(opts.Exclude),
+	}); err != nil {
+		return nil, mapreduce.Metrics{}, err
 	}
 
 	res, err := mapreduce.Run(c, job, tupleSplits(splits))

@@ -1,0 +1,132 @@
+package worker
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/mapreduce"
+)
+
+// The wire protocol: length-prefixed gob frames, each a single envelope.
+// A fresh gob encoder per frame keeps frames self-contained (no stream
+// state), so a coordinator can safely resynchronize after dropping a worker
+// mid-frame and the same framing serves pipes and sockets alike.
+
+// msgKind discriminates envelope frames.
+type msgKind uint8
+
+const (
+	// msgHello is the first frame a worker sends: it announces the worker
+	// id under which results and failed attempts are reported.
+	msgHello msgKind = iota + 1
+	// msgTask carries one task attempt, coordinator → worker.
+	msgTask
+	// msgResult answers a task frame (matching Seq), worker → coordinator.
+	msgResult
+	// msgHeartbeat keeps the worker's lease alive while it executes.
+	msgHeartbeat
+	// msgDrain asks the worker to finish up and exit cleanly.
+	msgDrain
+)
+
+// envelope is one protocol frame. Only the fields relevant to Kind are set.
+type envelope struct {
+	Kind msgKind
+	// ID is the worker id (hello frames).
+	ID string
+	// Seq correlates a result with its task frame.
+	Seq uint64
+	// Spec is the task attempt to execute (task frames).
+	Spec *mapreduce.TaskSpec
+	// Result is the executed attempt's outcome (result frames)...
+	Result *mapreduce.TaskResult
+	// ...or Err the reason it could not be produced. A non-empty Err is a
+	// task-level failure (bad payload, unregistered job maker): it is
+	// deterministic, so the coordinator fails the task instead of retrying.
+	Err string
+}
+
+// maxFrameSize bounds a single frame, as a guard against a corrupted or
+// malicious length prefix allocating unbounded memory. 1 GiB comfortably
+// exceeds any real task payload.
+const maxFrameSize = 1 << 30
+
+// frameConn reads and writes envelope frames over an arbitrary byte stream.
+// Writes are mutex-guarded so a worker's heartbeat ticker and its result
+// writes can share the connection; reads have a single owner by design (the
+// coordinator's per-worker receive loop, or the worker's serve loop).
+type frameConn struct {
+	r  io.Reader
+	w  io.Writer
+	mu sync.Mutex // guards w
+}
+
+func newFrameConn(r io.Reader, w io.Writer) *frameConn {
+	return &frameConn{r: r, w: w}
+}
+
+// write sends one frame: 4-byte big-endian payload length, then the gob
+// payload.
+func (c *frameConn) write(env *envelope) error {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return fmt.Errorf("worker: encoding %v frame: %w", env.Kind, err)
+	}
+	frame := buf.Bytes()
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(frame); err != nil {
+		return fmt.Errorf("worker: writing %v frame: %w", env.Kind, err)
+	}
+	return nil
+}
+
+// read receives the next frame. It returns io.EOF unwrapped when the stream
+// ends cleanly between frames, so callers can distinguish a graceful close
+// from a mid-frame cut.
+func (c *frameConn) read() (*envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("worker: reading frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("worker: frame of %d bytes exceeds limit %d", n, maxFrameSize)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return nil, fmt.Errorf("worker: reading %d-byte frame: %w", n, err)
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("worker: decoding frame: %w", err)
+	}
+	return &env, nil
+}
+
+// String names the message kind in errors and logs.
+func (k msgKind) String() string {
+	switch k {
+	case msgHello:
+		return "hello"
+	case msgTask:
+		return "task"
+	case msgResult:
+		return "result"
+	case msgHeartbeat:
+		return "heartbeat"
+	case msgDrain:
+		return "drain"
+	default:
+		return fmt.Sprintf("msgKind(%d)", uint8(k))
+	}
+}

@@ -1,0 +1,151 @@
+package worker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/mapreduce"
+)
+
+// ChaosExitEnv, when set to n > 0 in a worker's environment, makes the
+// worker exit (status 3) upon receiving its n-th task, before executing it.
+// The crash-recovery tests use it to kill a worker mid-job at a
+// deterministic point; the coordinator sees the stream die, reassigns the
+// leased task and the job still completes correctly.
+const ChaosExitEnv = "STRATA_WORKER_EXIT_AFTER"
+
+// ErrChaosExit is returned by Serve when the ChaosExitEnv crash point
+// fires. Process-based servers (ServeStdio callers) should exit non-zero on
+// it; in-process servers just let the connection close, which the
+// coordinator handles identically to a process death.
+var ErrChaosExit = errors.New("worker: chaos exit triggered by " + ChaosExitEnv)
+
+// ServeOptions configures one worker's serve loop. The zero value works:
+// the id defaults to the environment's STRATA_WORKER_ID or "pid-<pid>".
+type ServeOptions struct {
+	// ID is the worker id announced in the hello frame; it tags results,
+	// failed attempts, and trace spans.
+	ID string
+	// HeartbeatInterval is how often the worker writes keep-alive frames.
+	// It must stay well under the coordinator's lease timeout. Default 3s.
+	HeartbeatInterval time.Duration
+	// ExitAfter is the chaos crash point (see ChaosExitEnv, which fills it
+	// when zero): receiving the n-th task aborts the loop.
+	ExitAfter int
+}
+
+func (o ServeOptions) fill() ServeOptions {
+	if o.ID == "" {
+		o.ID = os.Getenv("STRATA_WORKER_ID")
+	}
+	if o.ID == "" {
+		o.ID = "pid-" + strconv.Itoa(os.Getpid())
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 3 * time.Second
+	}
+	if o.ExitAfter == 0 {
+		o.ExitAfter, _ = strconv.Atoi(os.Getenv(ChaosExitEnv))
+	}
+	return o
+}
+
+// Serve runs one worker over a byte stream: announce the hello, then
+// execute task frames serially through mapreduce.ExecuteTask until the
+// coordinator drains the worker or the stream closes. A heartbeat ticker
+// keeps the coordinator's lease alive while tasks execute.
+//
+// Anything else writing to w corrupts the frame stream, so process workers
+// must keep their logging on stderr.
+func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
+	opts = opts.fill()
+	conn := newFrameConn(r, w)
+	if err := conn.write(&envelope{Kind: msgHello, ID: opts.ID}); err != nil {
+		return err
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(opts.HeartbeatInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				// A failed heartbeat means the coordinator is gone; the
+				// serve loop's next read reports it, so ignore it here.
+				_ = conn.write(&envelope{Kind: msgHeartbeat})
+			}
+		}
+	}()
+
+	received := 0
+	for {
+		env, err := conn.read()
+		if err != nil {
+			if err == io.EOF {
+				return nil // coordinator closed the stream: clean exit
+			}
+			return err
+		}
+		switch env.Kind {
+		case msgTask:
+			received++
+			if opts.ExitAfter > 0 && received >= opts.ExitAfter {
+				slog.Warn("worker: chaos exit", "worker", opts.ID, "task_number", received)
+				return ErrChaosExit
+			}
+			reply := &envelope{Kind: msgResult, Seq: env.Seq}
+			if env.Spec == nil {
+				reply.Err = "task frame without spec"
+			} else if res, err := mapreduce.ExecuteTask(env.Spec); err != nil {
+				reply.Err = err.Error()
+			} else {
+				reply.Result = res
+			}
+			if err := conn.write(reply); err != nil {
+				return err
+			}
+		case msgDrain:
+			return nil
+		case msgHeartbeat:
+			// Coordinators don't send these today; tolerate them anyway.
+		default:
+			return fmt.Errorf("worker %s: unexpected %v frame", opts.ID, env.Kind)
+		}
+	}
+}
+
+// ServeStdio serves a subprocess worker over stdin/stdout — the loop the
+// "strata worker -stdio" subcommand runs. The exit status is 0 for a clean
+// drain, 3 for a chaos exit, 1 otherwise; it never returns.
+func ServeStdio(opts ServeOptions) {
+	err := Serve(os.Stdin, os.Stdout, opts)
+	switch {
+	case err == nil:
+		os.Exit(0)
+	case errors.Is(err, ErrChaosExit):
+		os.Exit(3)
+	default:
+		slog.Error("worker: serve failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// ServeTCP dials a TCPExecutor's address and serves until drained. It is
+// the loop behind "strata worker -connect addr" and TCPExecutor.SpawnLocal.
+func ServeTCP(addr string, opts ServeOptions) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("worker: connecting to coordinator %s: %w", addr, err)
+	}
+	defer conn.Close()
+	return Serve(conn, conn, opts)
+}

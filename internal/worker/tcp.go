@@ -1,0 +1,132 @@
+package worker
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mapreduce"
+)
+
+// TCPConfig configures a TCPExecutor.
+type TCPConfig struct {
+	// Config tunes lease, heartbeat and retry behavior of the pool.
+	Config
+	// Addr is the listen address. Default "127.0.0.1:0" (an ephemeral
+	// loopback port, read back via Addr()).
+	Addr string
+}
+
+// TCPExecutor runs task attempts on workers that register over TCP: each
+// worker dials the coordinator's listen address, sends a hello frame, and
+// leases tasks over the connection. Workers can be external processes
+// ("strata worker -connect <addr>") or in-process goroutines (SpawnLocal).
+// It implements mapreduce.Executor.
+type TCPExecutor struct {
+	pool *pool
+	cfg  TCPConfig
+	ln   net.Listener
+
+	spawned sync.WaitGroup // SpawnLocal serve loops
+	spawnN  int
+}
+
+// NewTCPExecutor starts listening and accepting worker registrations. It
+// returns immediately: use SpawnLocal and/or AwaitWorkers to ensure
+// capacity before submitting work — Execute fails fast while no worker is
+// attached.
+func NewTCPExecutor(cfg TCPConfig) (*TCPExecutor, error) {
+	cfg.Config = cfg.Config.fill()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("worker: listening on %s: %w", cfg.Addr, err)
+	}
+	e := &TCPExecutor{pool: newPool(cfg.Config), cfg: cfg, ln: ln}
+	go e.acceptLoop()
+	return e, nil
+}
+
+func (e *TCPExecutor) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			fc := newFrameConn(conn, conn)
+			id, err := awaitHello(fc, e.cfg.LeaseTimeout)
+			if err != nil {
+				slog.Warn("worker: rejecting connection", "remote", conn.RemoteAddr(), "err", err)
+				conn.Close()
+				return
+			}
+			slog.Debug("worker: registered", "worker", id, "remote", conn.RemoteAddr())
+			e.pool.attach(id, fc, func() { conn.Close() })
+		}()
+	}
+}
+
+// Addr is the coordinator's listen address, for workers to dial.
+func (e *TCPExecutor) Addr() string { return e.ln.Addr().String() }
+
+// SpawnLocal starts n in-process workers, each dialing the coordinator
+// over a real loopback socket and serving until drained. The full protocol
+// — registration, heartbeats, leases — is exercised; only process
+// isolation is skipped.
+func (e *TCPExecutor) SpawnLocal(n int) {
+	addr := e.Addr()
+	for i := 0; i < n; i++ {
+		e.spawnN++
+		id := fmt.Sprintf("tcp-%d", e.spawnN)
+		e.spawned.Add(1)
+		go func() {
+			defer e.spawned.Done()
+			if err := ServeTCP(addr, ServeOptions{
+				ID:                id,
+				HeartbeatInterval: e.cfg.HeartbeatInterval,
+			}); err != nil {
+				slog.Warn("worker: local tcp worker exited", "worker", id, "err", err)
+			}
+		}()
+	}
+}
+
+// AwaitWorkers blocks until at least n workers are attached, or fails
+// after timeout. Run it before the first job when worker placement matters
+// (chaos tests, benchmarks), so tasks don't all land on the early joiners.
+func (e *TCPExecutor) AwaitWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if live := e.pool.liveWorkers(); live >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("worker: %d of %d workers registered within %v",
+				e.pool.liveWorkers(), n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Name reports "tcp".
+func (e *TCPExecutor) Name() string { return "tcp" }
+
+// Execute runs one task attempt on the pool, transparently reassigning it
+// if its worker dies.
+func (e *TCPExecutor) Execute(spec *mapreduce.TaskSpec) (*mapreduce.TaskResult, error) {
+	return e.pool.execute(spec)
+}
+
+// Close drains attached workers, stops accepting registrations and waits
+// for local workers to unwind.
+func (e *TCPExecutor) Close() error {
+	e.pool.close()
+	err := e.ln.Close()
+	e.spawned.Wait()
+	return err
+}

@@ -1,0 +1,296 @@
+package worker_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/predicate"
+	"repro/internal/query"
+	"repro/internal/stratified"
+	"repro/internal/worker"
+)
+
+// TestMain doubles as the worker entry point: the subprocess executor in
+// these tests re-executes the test binary itself, and the environment flag
+// flips the child into a protocol worker before any test machinery runs
+// (the same trick as the strata CLI's "worker -stdio" subcommand).
+func TestMain(m *testing.M) {
+	if os.Getenv("STRATA_TEST_WORKER") == "1" {
+		worker.ServeStdio(worker.ServeOptions{}) // never returns
+	}
+	os.Exit(m.Run())
+}
+
+// newSubprocess starts a pool of worker children running this test binary.
+// extra plants additional environment entries on the i-th worker (the chaos
+// hook).
+func newSubprocess(t testing.TB, workers int, extra func(i int) []string) *worker.SubprocessExecutor {
+	t.Helper()
+	exec, err := worker.NewSubprocessExecutor(worker.SubprocessConfig{
+		Workers: workers,
+		Command: []string{os.Args[0]},
+		ExtraEnv: func(i int) []string {
+			env := []string{"STRATA_TEST_WORKER=1"}
+			if extra != nil {
+				env = append(env, extra(i)...)
+			}
+			return env
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exec
+}
+
+func testSchema() *dataset.Schema {
+	return dataset.MustSchema(
+		dataset.Field{Name: "gender", Min: 0, Max: 1},
+		dataset.Field{Name: "income", Min: 0, Max: 1000},
+	)
+}
+
+// testPopulation builds 400 men and 500 women over 6 splits.
+func testPopulation(t testing.TB) []dataset.Split {
+	t.Helper()
+	r := dataset.NewRelation(testSchema())
+	id := int64(0)
+	for i := 0; i < 400; i++ {
+		r.MustAdd(dataset.Tuple{ID: id, Attrs: []int64{1, id % 1001}})
+		id++
+	}
+	for i := 0; i < 500; i++ {
+		r.MustAdd(dataset.Tuple{ID: id, Attrs: []int64{0, id % 1001}})
+		id++
+	}
+	splits, err := dataset.Partition(r, 6, dataset.Contiguous, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return splits
+}
+
+func testQuery() *query.SSD {
+	return query.NewSSD("workers",
+		query.Stratum{Cond: predicate.MustParse("gender = 1"), Freq: 7},
+		query.Stratum{Cond: predicate.MustParse("gender = 0"), Freq: 9},
+	)
+}
+
+// testCluster freezes the clock so wall-time fields can't differ between
+// backends; exec == nil is the in-process reference.
+func testCluster(exec mapreduce.Executor) *mapreduce.Cluster {
+	return &mapreduce.Cluster{
+		Slaves: 3, SlotsPerSlave: 2,
+		Cost:     mapreduce.DefaultCostModel(),
+		Clock:    mapreduce.FrozenClock(time.Unix(0, 0)),
+		Executor: exec,
+	}
+}
+
+func runSQE(t testing.TB, exec mapreduce.Executor, splits []dataset.Split) (*query.Answer, mapreduce.Metrics) {
+	t.Helper()
+	ans, met, err := stratified.RunSQE(testCluster(exec), testQuery(), testSchema(), splits,
+		stratified.Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans, met
+}
+
+// TestSubprocessMatchesInproc: the same job on worker child processes
+// produces the identical sample and metrics as the in-process engine.
+func TestSubprocessMatchesInproc(t *testing.T) {
+	splits := testPopulation(t)
+	want, wantMet := runSQE(t, nil, splits)
+
+	exec := newSubprocess(t, 3, nil)
+	defer exec.Close()
+	got, gotMet := runSQE(t, exec, splits)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("subprocess answer differs from in-process:\n in: %v\nout: %v", want, got)
+	}
+	if !reflect.DeepEqual(wantMet, gotMet) {
+		t.Errorf("subprocess metrics differ from in-process:\n in: %+v\nout: %+v", wantMet, gotMet)
+	}
+}
+
+// TestTCPMatchesInproc: workers registered over TCP produce the identical
+// sample.
+func TestTCPMatchesInproc(t *testing.T) {
+	splits := testPopulation(t)
+	want, _ := runSQE(t, nil, splits)
+
+	exec, err := worker.NewTCPExecutor(worker.TCPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exec.Close()
+	exec.SpawnLocal(2)
+	if err := exec.AwaitWorkers(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := runSQE(t, exec, splits)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("tcp answer differs from in-process:\n in: %v\nout: %v", want, got)
+	}
+}
+
+// TestWorkerCrashRecovery kills a worker mid-job and checks the coordinator
+// reassigns its lease without changing the sample: worker 0 aborts on its
+// first leased task, so the job must finish on the survivors with exactly
+// one extra attempt, and the per-stratum fill must still be exact.
+func TestWorkerCrashRecovery(t *testing.T) {
+	splits := testPopulation(t)
+	want, _ := runSQE(t, nil, splits)
+
+	exec := newSubprocess(t, 2, func(i int) []string {
+		if i == 0 {
+			return []string{worker.ChaosExitEnv + "=1"}
+		}
+		return nil
+	})
+	defer exec.Close()
+	got, met := runSQE(t, exec, splits)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("answer after crash recovery differs from in-process:\n in: %v\nout: %v", want, got)
+	}
+	if len(got.Strata[0]) != 7 || len(got.Strata[1]) != 9 {
+		t.Errorf("per-stratum fill %d/%d after recovery, want 7/9",
+			len(got.Strata[0]), len(got.Strata[1]))
+	}
+	tasks := int64(met.MapTasks + met.ReduceTasks)
+	attempts := met.MapAttempts + met.ReduceAttempts
+	if attempts != tasks+1 {
+		t.Errorf("attempts = %d over %d tasks, want exactly one reassignment (%d)",
+			attempts, tasks, tasks+1)
+	}
+}
+
+// TestGoldenSpansAcrossBackends locks the cross-backend determinism
+// contract end to end: under a frozen clock and a fixed seed, all three
+// backends produce the identical answer and, up to the worker id tag, the
+// byte-identical span file.
+func TestGoldenSpansAcrossBackends(t *testing.T) {
+	splits := testPopulation(t)
+
+	run := func(exec mapreduce.Executor) (*query.Answer, []byte) {
+		var buf bytes.Buffer
+		c := testCluster(exec)
+		tr := mapreduce.NewJSONLTracer(&buf)
+		c.Tracer = tr
+		ans, _, err := stratified.RunSQE(c, testQuery(), testSchema(), splits,
+			stratified.Options{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return ans, buf.Bytes()
+	}
+
+	inprocAns, inprocSpans := run(nil)
+
+	sub := newSubprocess(t, 2, nil)
+	defer sub.Close()
+	subAns, subSpans := run(sub)
+
+	tcp, err := worker.NewTCPExecutor(worker.TCPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	tcp.SpawnLocal(2)
+	if err := tcp.AwaitWorkers(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tcpAns, tcpSpans := run(tcp)
+
+	if !reflect.DeepEqual(inprocAns, subAns) || !reflect.DeepEqual(inprocAns, tcpAns) {
+		t.Errorf("answers differ across backends")
+	}
+	golden := stripWorker(t, inprocSpans)
+	for _, b := range []struct {
+		name  string
+		spans []byte
+	}{{"subprocess", subSpans}, {"tcp", tcpSpans}} {
+		if got := stripWorker(t, b.spans); !bytes.Equal(golden, got) {
+			t.Errorf("%s span file differs from in-process (after dropping worker ids):\n--- inproc ---\n%s\n--- %s ---\n%s",
+				b.name, golden, b.name, got)
+		}
+	}
+}
+
+// stripWorker re-renders a JSONL span stream with the worker tag removed —
+// the only field allowed to differ between backends.
+func stripWorker(t testing.TB, spans []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, line := range bytes.Split(bytes.TrimSpace(spans), []byte("\n")) {
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		delete(m, "worker")
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// BenchmarkEngine compares one full MR-SQE job on the in-process engine
+// against the subprocess worker pool: the difference is the executor seam's
+// serialization plus the frame protocol round-trips.
+func BenchmarkEngine(b *testing.B) {
+	splits := testPopulation(b)
+	bench := func(b *testing.B, exec mapreduce.Executor) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := &mapreduce.Cluster{
+				Slaves: 3, SlotsPerSlave: 2,
+				Cost:     mapreduce.ZeroCostModel(),
+				Executor: exec,
+			}
+			_, _, err := stratified.RunSQE(c, testQuery(), testSchema(), splits,
+				stratified.Options{Seed: int64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("backend=inproc", func(b *testing.B) { bench(b, nil) })
+	b.Run("backend=subprocess", func(b *testing.B) {
+		exec := newSubprocess(b, 3, nil)
+		defer exec.Close()
+		b.ResetTimer()
+		bench(b, exec)
+	})
+	b.Run(fmt.Sprintf("backend=tcp/workers=%d", 3), func(b *testing.B) {
+		exec, err := worker.NewTCPExecutor(worker.TCPConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer exec.Close()
+		exec.SpawnLocal(3)
+		if err := exec.AwaitWorkers(3, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		bench(b, exec)
+	})
+}
