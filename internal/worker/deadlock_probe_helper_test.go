@@ -1,0 +1,14 @@
+package worker_test
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+	"repro/internal/stratified"
+)
+
+func runSQEerr(t testing.TB, c *mapreduce.Cluster, splits []dataset.Split) (*query.Answer, mapreduce.Metrics, error) {
+	return stratified.RunSQE(c, testQuery(), testSchema(), splits, stratified.Options{Seed: 42})
+}

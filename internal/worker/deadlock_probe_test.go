@@ -1,0 +1,29 @@
+package worker_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/worker"
+)
+
+// Probe: all workers crash while tasks are still queued.
+func TestProbeAllWorkersDieWithQueuedTasks(t *testing.T) {
+	splits := testPopulation(t)
+	exec := newSubprocess(t, 1, func(i int) []string {
+		return []string{worker.ChaosExitEnv + "=1"}
+	})
+	defer exec.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c := testCluster(exec)
+		_, _, _ = runSQEerr(t, c, splits)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("job hung: queued tasks never failed after all workers died")
+	}
+}
