@@ -31,6 +31,10 @@ type obs struct {
 	backend   string
 	workers   int
 
+	// routedShuffle disables the direct worker-to-worker bucket path for
+	// -backend tcp, forcing every bucket through the coordinator.
+	routedShuffle bool
+
 	executor mapreduce.Executor
 
 	tracer    *mapreduce.JSONLTracer
@@ -62,6 +66,7 @@ func parseGlobalFlags(args []string) ([]string, error) {
 	fs.BoolVar(&globalObs.progress, "progress", false, "print a live per-phase progress line to stderr while jobs run")
 	fs.StringVar(&globalObs.backend, "backend", "inproc", "task execution `backend`: inproc, subprocess (worker child processes) or tcp (workers register over TCP)")
 	fs.IntVar(&globalObs.workers, "workers", 2, "worker count for -backend subprocess or tcp")
+	fs.BoolVar(&globalObs.routedShuffle, "routed-shuffle", false, "with -backend tcp, route all shuffle buckets through the coordinator instead of worker-to-worker")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -127,7 +132,7 @@ func (o *obs) setupExecutor() error {
 		o.executor = exec
 		return nil
 	case "tcp":
-		exec, err := worker.NewTCPExecutor(worker.TCPConfig{})
+		exec, err := worker.NewTCPExecutor(worker.TCPConfig{RoutedShuffle: o.routedShuffle})
 		if err != nil {
 			return fmt.Errorf("starting tcp coordinator: %w", err)
 		}
@@ -175,6 +180,16 @@ func (o *obs) serveDebug() error {
 	expvar.Publish("strata_metrics", expvar.Func(func() any {
 		m := o.snapshot()
 		return m
+	}))
+	expvar.Publish("strata_nonportable_fallbacks", expvar.Func(func() any {
+		return mapreduce.NonPortableFallbacks()
+	}))
+	expvar.Publish("strata_shuffle", expvar.Func(func() any {
+		type shuffleStatser interface{ ShuffleStats() worker.ShuffleStats }
+		if s, ok := o.executor.(shuffleStatser); ok {
+			return s.ShuffleStats()
+		}
+		return worker.ShuffleStats{}
 	}))
 	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")

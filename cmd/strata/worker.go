@@ -18,10 +18,11 @@ func cmdWorker(args []string) error {
 	stdio := fs.Bool("stdio", false, "serve a coordinator over stdin/stdout (spawned by -backend subprocess)")
 	connect := fs.String("connect", "", "dial a tcp coordinator at this `addr` and register")
 	id := fs.String("id", "", "worker `id` reported in results and trace spans (default from STRATA_WORKER_ID or the pid)")
+	routed := fs.Bool("routed-shuffle", false, "do not start a direct-shuffle receiver; all buckets travel through the coordinator")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := worker.ServeOptions{ID: *id}
+	opts := worker.ServeOptions{ID: *id, RoutedShuffle: *routed}
 	switch {
 	case *stdio && *connect != "":
 		return fmt.Errorf("worker: -stdio and -connect are mutually exclusive")

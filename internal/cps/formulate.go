@@ -3,7 +3,9 @@ package cps
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/lp"
 	"repro/internal/query"
@@ -22,6 +24,13 @@ type SolveOptions struct {
 	// Epsilon is added before flooring LP values to absorb solver
 	// quantisation error; the paper uses 1e-4.
 	Epsilon float64
+	// Parallelism caps how many per-σ blocks the decomposed formulation
+	// solves concurrently. The blocks are independent programs, so they
+	// parallelize embarrassingly; results are still folded in sorted key
+	// order, keeping Objective sums (floating point) and assignments
+	// byte-identical to a serial solve. 0 means GOMAXPROCS; 1 restores
+	// serial solving. Ignored by the joint formulation (one program).
+	Parallelism int
 }
 
 func (o SolveOptions) epsilon() float64 {
@@ -29,6 +38,13 @@ func (o SolveOptions) epsilon() float64 {
 		return 1e-4
 	}
 	return o.Epsilon
+}
+
+func (o SolveOptions) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Plan is the solved constraint program: for every relevant selection σ, the
@@ -149,29 +165,85 @@ func buildBlock(p *lp.Problem, base int, e *SelEntry, taus []query.Tau, costs qu
 	return p.AddConstraint(row, lp.LE, float64(e.Limit))
 }
 
+// solveDecomposed formulates and solves one independent program per relevant
+// selection. The blocks share nothing, so they are solved by a bounded pool
+// of goroutines (SolveOptions.Parallelism); because floating-point addition
+// is not associative, the fold below walks blocks in sorted key order, so
+// Objective — and everything downstream of the plan — is byte-identical to a
+// serial solve regardless of completion order.
 func solveDecomposed(stats *Stats, costs query.Coster, opts SolveOptions) (*Plan, error) {
+	keys := stats.SortedKeys()
+	blocks := make([]solvedBlock, len(keys))
+	workers := opts.parallelism()
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers > 1 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					blocks[i] = solveBlock(stats.Entries[keys[i]], costs, opts)
+				}
+			}()
+		}
+		for i := range keys {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range keys {
+			blocks[i] = solveBlock(stats.Entries[keys[i]], costs, opts)
+		}
+	}
+
 	plan := &Plan{Assign: make(map[string]map[query.Tau]int64, len(stats.Entries))}
-	for _, key := range stats.SortedKeys() {
-		e := stats.Entries[key]
-		taus := varsFor(e.Sel)
-		if len(taus) == 0 {
-			continue
+	for i, key := range keys {
+		b := &blocks[i]
+		if b.err != nil {
+			return nil, b.err
 		}
-		prob := lp.NewProblem(len(taus))
-		prob.Names = make([]string, len(taus))
-		if err := buildBlock(prob, 0, e, taus, costs); err != nil {
-			return nil, err
+		if b.sol == nil {
+			continue // selection with no variables
 		}
-		plan.Vars += len(taus)
-		plan.Constraints += len(prob.Cons)
-		sol, err := solveOne(prob, opts)
-		if err != nil {
-			return nil, fmt.Errorf("cps: selection %s: %w", e.Sel, err)
-		}
-		plan.Objective += sol.Objective
-		plan.Assign[key] = roundAssign(taus, sol.X, 0, opts)
+		plan.Vars += len(b.taus)
+		plan.Constraints += b.cons
+		plan.Objective += b.sol.Objective
+		plan.Assign[key] = roundAssign(b.taus, b.sol.X, 0, opts)
 	}
 	return plan, nil
+}
+
+// solvedBlock is one selection's solved program, held until the fold.
+type solvedBlock struct {
+	taus []query.Tau
+	sol  *lp.Solution
+	cons int
+	err  error
+}
+
+// solveBlock formulates and solves one selection's program.
+func solveBlock(e *SelEntry, costs query.Coster, opts SolveOptions) (b solvedBlock) {
+	b.taus = varsFor(e.Sel)
+	if len(b.taus) == 0 {
+		return b
+	}
+	prob := lp.NewProblem(len(b.taus))
+	prob.Names = make([]string, len(b.taus))
+	if err := buildBlock(prob, 0, e, b.taus, costs); err != nil {
+		b.err = err
+		return b
+	}
+	b.cons = len(prob.Cons)
+	b.sol, b.err = solveOne(prob, opts)
+	if b.err != nil {
+		b.err = fmt.Errorf("cps: selection %s: %w", e.Sel, b.err)
+	}
+	return b
 }
 
 func solveJoint(stats *Stats, costs query.Coster, opts SolveOptions) (*Plan, error) {

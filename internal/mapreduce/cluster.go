@@ -25,6 +25,12 @@ type Cluster struct {
 	// wire bytes. Keys and values must be gob-encodable. The engine closes
 	// the transport when the job finishes.
 	NewTransport func() (Transport, error)
+	// ShuffleRetry bounds re-attempts of a shuffle Receive that timed out
+	// with a *ReceiveTimeoutError, instead of failing the job on the first
+	// expiry. The zero value applies the default policy (2 retries, 50ms
+	// linear backoff); MaxRetries < 0 restores fail-on-first-timeout.
+	// Retries performed are counted in Metrics.ShuffleRetries.
+	ShuffleRetry ShuffleRetryPolicy
 	// MaxParallelism caps the real goroutine parallelism used to execute
 	// tasks, independent of the simulated slot count. 0 means "as many as
 	// slots"; negative values are a configuration error.

@@ -6,8 +6,21 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// nonPortableFallbacks counts jobs that were asked to run on a remote
+// executor but silently stayed in-process because they carry no (Maker,
+// Config) registration — bespoke closure jobs like RunKeyed and the CPS
+// dealing/limit classifiers. The counter makes the fallback visible to
+// operators (exported via NonPortableFallbacks and the strata debug vars)
+// alongside the per-job warning log.
+var nonPortableFallbacks atomic.Int64
+
+// NonPortableFallbacks reports how many jobs fell back to in-process
+// execution because they were not portable to the configured remote executor.
+func NonPortableFallbacks() int64 { return nonPortableFallbacks.Load() }
 
 // Result is the outcome of a job run: output records (in deterministic
 // order: by reducer index, then key order within the reducer) and metrics.
@@ -181,8 +194,10 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		if job.Maker != "" {
 			return runRemote(c, job, splits, numReducers, exec, transport, tr, &met, now, start)
 		}
+		nonPortableFallbacks.Add(1)
 		slog.Warn("mapreduce: job is not portable, running in-process",
-			"job", job.Name, "executor", exec.Name())
+			"job", job.Name, "executor", exec.Name(), "reason", "no job maker registered",
+			"fallbacks_total", nonPortableFallbacks.Load())
 	}
 
 	// ---- Map phase (with per-task combine and pipelined shuffle sends) ----
@@ -321,6 +336,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	reducerGroups := make([]*keyGroups[K, V], numReducers)
 	reducerNames := make([][]string, numReducers)
 	shuffleRecs := make([]int64, numReducers)
+	shuffleRetries := make([]int64, numReducers)
 	reducerErrs := make([]error, numReducers)
 	var recvStart, recvDur []time.Duration
 	var recvBytes []int64
@@ -336,7 +352,8 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 		}
 		var parts [][]Pair[K, V] // task-ordered bucket list for this reducer
 		if transport != nil {
-			payloads, err := transport.Receive(r, len(splits))
+			payloads, retries, err := receiveRetrying(transport, r, len(splits), c.ShuffleRetry, nil)
+			shuffleRetries[r] = retries
 			if err != nil {
 				reducerErrs[r] = fmt.Errorf("reducer %d: %w", r, err)
 				return
@@ -385,6 +402,7 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	}
 	for r := 0; r < numReducers; r++ {
 		met.ShuffleRecords += shuffleRecs[r]
+		met.ShuffleRetries += shuffleRetries[r]
 		if tr != nil {
 			// Each recv leg carries its reducer's share of the simulated
 			// transfer, so the legs sum to SimulatedShuffle (exactly with

@@ -2,8 +2,10 @@ package mapreduce
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
+	"sync"
 	"time"
 )
 
@@ -36,15 +38,35 @@ func runRemote[I any, K comparable, V any, O any](
 	// what keeps traced runs reproducible.
 	frozen := c.Clock != nil
 
+	// ---- Direct shuffle plan (control plane only) ----
+	// When the executor can move buckets worker-to-worker and no explicit
+	// Transport was asked for, obtain a shuffle plan: the assignment of
+	// reducers to workers plus the peer endpoints. From here on the
+	// coordinator exchanges only this metadata; the bucket bytes themselves
+	// flow between workers.
+	var plan *ShufflePlan
+	var ds DirectShuffler
+	if transport == nil {
+		if d, ok := exec.(DirectShuffler); ok {
+			if p := d.PlanShuffle(job.Name, numReducers); p != nil {
+				ds, plan = d, p
+				if logDebug {
+					slog.Debug("mapreduce direct shuffle planned", "job", job.Name,
+						"backend", exec.Name(), "session", p.Session, "reducers", numReducers)
+				}
+			}
+		}
+	}
+
 	// ---- Map phase (pipelined: each task's buckets ship as they exist) ----
 	type remoteMapState struct {
-		payloads     [][]byte // per-reducer payloads, retained without a transport
-		counters     TaskCounters
-		custom       map[string]*Histogram
-		worker       string
-		failed       []TaskAttempt
-		shuffleBytes int64
-		bucketBytes  Histogram
+		payloads                                 [][]byte // per-reducer payloads, retained without a transport
+		counters                                 TaskCounters
+		custom                                   map[string]*Histogram
+		worker                                   string
+		failed                                   []TaskAttempt
+		shuffleBytes                             int64
+		bucketBytes                              Histogram
 		startOff, mapDone, combineDone, sendDone time.Duration
 	}
 	states := make([]remoteMapState, len(splits))
@@ -63,7 +85,8 @@ func runRemote[I any, K comparable, V any, O any](
 		res, err := exec.Execute(&TaskSpec{
 			Job: job.Name, Maker: job.Maker, Config: job.Config,
 			Phase: "map", Task: task, Seed: job.Seed,
-			NumReducers: numReducers, Split: splitPayload, Frozen: frozen,
+			NumReducers: numReducers, NumMapTasks: len(splits),
+			Split: splitPayload, Frozen: frozen, Shuffle: plan,
 		})
 		if err != nil {
 			taskErrs[task] = fmt.Errorf("map task %d on %s executor: %w", task, exec.Name(), err)
@@ -90,7 +113,10 @@ func runRemote[I any, K comparable, V any, O any](
 		} else {
 			// No transport: keep the payloads for the reduce phase and
 			// account the same approximate sizes the in-process engine
-			// would, so metrics agree across backends.
+			// would, so metrics agree across backends. Under a direct
+			// shuffle plan Buckets is sparse — nil for every bucket the
+			// worker already delivered to its peer — but the counters still
+			// describe all of them, so the accounting is unchanged.
 			st.payloads = res.Buckets
 			for _, n := range res.Counters.BucketSizes {
 				st.shuffleBytes += n
@@ -191,6 +217,7 @@ func runRemote[I any, K comparable, V any, O any](
 	redWorker := make([]string, numReducers)
 	redFailed := make([][]TaskAttempt, numReducers)
 	reducerErrs := make([]error, numReducers)
+	shuffleRetries := make([]int64, numReducers)
 	var recvStart, recvDur, redStart, redDur []time.Duration
 	var recvBytes []int64
 	if tr != nil {
@@ -201,45 +228,146 @@ func runRemote[I any, K comparable, V any, O any](
 		recvBytes = make([]int64, numReducers)
 	}
 
+	// Routed fallback for direct-shuffle reducers whose peer-held buckets
+	// were lost (worker crash, missing receiver, peer receive timeout): the
+	// coordinator rebuilds the reducer's bucket column and runs the reduce
+	// routed, on any worker. Map re-execution is deterministic — the same
+	// split, seed and task id produce byte-identical buckets — and memoized
+	// under replayMu so several lost reducers share one replay per map task.
+	var replayMu sync.Mutex
+	replayed := make(map[int][][]byte)
+	replayBuckets := func(t int) ([][]byte, error) {
+		replayMu.Lock()
+		defer replayMu.Unlock()
+		if b, ok := replayed[t]; ok {
+			return b, nil
+		}
+		splitPayload, err := gobEncode(splits[t])
+		if err != nil {
+			return nil, err
+		}
+		res, err := exec.Execute(&TaskSpec{
+			Job: job.Name, Maker: job.Maker, Config: job.Config,
+			Phase: "map", Task: t, Seed: job.Seed,
+			NumReducers: numReducers, NumMapTasks: len(splits),
+			Split: splitPayload, Frozen: frozen,
+		})
+		if err != nil {
+			return nil, err
+		}
+		replayed[t] = res.Buckets
+		return res.Buckets, nil
+	}
+	directFallback := func(r int, spec *TaskSpec, lost *ShuffleLostError) (*TaskResult, error) {
+		slog.Warn("mapreduce: direct shuffle lost, replaying buckets over the routed path",
+			"job", job.Name, "reducer", r, "worker", lost.Worker, "reason", lost.Reason)
+		payloads := make([][]byte, len(states))
+		for t := range states {
+			if bks := states[t].payloads; r < len(bks) && len(bks[r]) > 0 {
+				payloads[t] = bks[r] // retained by the map phase, never left the coordinator
+				continue
+			}
+			bks, err := replayBuckets(t)
+			if err != nil {
+				return nil, fmt.Errorf("replaying buckets of map task %d: %w", t, err)
+			}
+			if r < len(bks) {
+				payloads[t] = bks[r]
+			}
+		}
+		routed := *spec
+		routed.Shuffle = nil
+		routed.Buckets = payloads
+		res, err := exec.Execute(&routed)
+		if err != nil {
+			return nil, err
+		}
+		// The lost direct attempt ran (at least partially) on a real worker
+		// and died, so it precedes the successful routed attempt — the same
+		// ordering crash recovery uses for re-executed tasks.
+		res.FailedAttempts = append([]TaskAttempt{{Worker: lost.Worker, Err: lost.Reason}}, res.FailedAttempts...)
+		return res, nil
+	}
+
 	runParallel(numReducers, c.workers(), func(r int) {
 		if tr != nil {
 			recvStart[r] = elapsed()
 		}
-		var payloads [][]byte
-		if transport != nil {
-			var err error
-			payloads, err = transport.Receive(r, len(splits))
-			if err != nil {
-				reducerErrs[r] = fmt.Errorf("reducer %d: %w", r, err)
+		spec := &TaskSpec{
+			Job: job.Name, Maker: job.Maker, Config: job.Config,
+			Phase: "reduce", Task: r, Seed: job.Seed,
+			NumReducers: numReducers, NumMapTasks: len(splits),
+			CollectKeys: perKey, Frozen: frozen,
+		}
+		var res *TaskResult
+		var err error
+		switch {
+		case plan != nil:
+			// Direct path: the reducer's worker already holds the buckets its
+			// peers pushed. Ship only the stragglers the map phase had to
+			// retain (a send to a dead endpoint keeps the payload on the
+			// coordinator) and pin the reduce to the worker the plan named.
+			spec.Shuffle = plan
+			spec.Buckets = make([][]byte, len(states))
+			for t := range states {
+				if bks := states[t].payloads; r < len(bks) {
+					spec.Buckets[t] = bks[r]
+				}
+			}
+			res, err = ds.ExecuteOn(plan.Workers[r], spec)
+			var lost *ShuffleLostError
+			if err != nil && errors.As(err, &lost) {
+				res, err = directFallback(r, spec, lost)
+			}
+			if tr != nil {
+				// Same approximate sizes as the in-process engine, so recv
+				// spans agree across backends.
+				for t := range states {
+					recvBytes[r] += states[t].counters.BucketSizes[r]
+				}
+			}
+		case transport != nil:
+			payloads, retries, rerr := receiveRetrying(transport, r, len(splits), c.ShuffleRetry, executorAlive(exec))
+			shuffleRetries[r] = retries
+			if rerr != nil {
+				reducerErrs[r] = fmt.Errorf("reducer %d: %w", r, rerr)
 				return
 			}
 			if tr != nil {
 				for _, p := range payloads {
 					recvBytes[r] += int64(len(p))
 				}
+				recvDur[r] = elapsed() - recvStart[r]
+				redStart[r] = elapsed()
 			}
-		} else {
-			payloads = make([][]byte, len(states))
+			spec.Buckets = payloads
+			res, err = exec.Execute(spec)
+		default:
+			payloads := make([][]byte, len(states))
 			for t := range states {
 				payloads[t] = states[t].payloads[r]
 				if tr != nil {
 					recvBytes[r] += states[t].counters.BucketSizes[r]
 				}
 			}
+			if tr != nil {
+				recvDur[r] = elapsed() - recvStart[r]
+				redStart[r] = elapsed()
+			}
+			spec.Buckets = payloads
+			res, err = exec.Execute(spec)
 		}
-		if tr != nil {
-			recvDur[r] = elapsed() - recvStart[r]
-			redStart[r] = elapsed()
-		}
-		res, err := exec.Execute(&TaskSpec{
-			Job: job.Name, Maker: job.Maker, Config: job.Config,
-			Phase: "reduce", Task: r, Seed: job.Seed,
-			NumReducers: numReducers, Buckets: payloads,
-			CollectKeys: perKey, Frozen: frozen,
-		})
 		if err != nil {
 			reducerErrs[r] = fmt.Errorf("reduce task %d on %s executor: %w", r, exec.Name(), err)
 			return
+		}
+		if plan != nil && tr != nil {
+			// The receive happened inside the worker's task execution: split
+			// the round-trip into the recv wall the worker measured and the
+			// remainder as reduce work. Zero under a frozen clock, like every
+			// other worker-side wall reading.
+			recvDur[r] = res.Counters.RecvWall
+			redStart[r] = recvStart[r] + recvDur[r]
 		}
 		out, err := DecodeTaskOutput[O](res.Output)
 		if err != nil {
@@ -263,19 +391,25 @@ func runRemote[I any, K comparable, V any, O any](
 	}
 	for r := 0; r < numReducers; r++ {
 		met.ShuffleRecords += redCounters[r].In
+		met.ShuffleRetries += shuffleRetries[r]
 		if tr != nil {
-			tr.Emit(Span{
+			s := Span{
 				Job: job.Name, Phase: PhaseShuffleRecv, Task: r,
 				Start: recvStart[r], Wall: recvDur[r],
 				Simulated: time.Duration(recvBytes[r]) * c.Cost.ShufflePerByte,
 				Records:   redCounters[r].In, Bytes: recvBytes[r],
-			})
+			}
+			if plan != nil {
+				// Direct mode: the receive ran on a worker, not here.
+				s.Worker = redWorker[r]
+			}
+			tr.Emit(s)
 		}
 	}
 	met.SimulatedShuffle = time.Duration(met.ShuffleBytes) * c.Cost.ShufflePerByte
 	if logDebug {
 		slog.Debug("mapreduce shuffle done", "job", job.Name, "backend", exec.Name(),
-			"records", met.ShuffleRecords, "bytes", met.ShuffleBytes,
+			"records", met.ShuffleRecords, "bytes", met.ShuffleBytes, "direct", plan != nil,
 			"simulated", met.SimulatedShuffle, "wall", elapsed())
 	}
 

@@ -1,6 +1,9 @@
 package mapreduce
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // TaskSpec is one task attempt in backend-portable form: everything a worker
 // process needs to reconstruct the job (Maker + Config), seed its RNGs
@@ -27,8 +30,21 @@ type TaskSpec struct {
 	NumReducers int
 	// Split is the gob-encoded input split of a map task.
 	Split []byte
-	// Buckets are the reduce task's shuffle payloads in map-task order.
+	// Buckets are the reduce task's shuffle payloads in map-task order. On
+	// the direct-shuffle path an empty entry is a hole: the payload was (or
+	// will be) delivered worker-to-worker and the reduce attempt receives it
+	// from its peer instead of from this spec. A bucket payload is never
+	// empty (encodeBucket of zero pairs still carries the gob type header),
+	// so emptiness is an unambiguous hole marker.
 	Buckets [][]byte
+	// NumMapTasks is the job's map-task count; reduce attempts on the direct
+	// path use it to size their expected bucket set.
+	NumMapTasks int
+	// Shuffle, when non-nil, routes this job's shuffle buckets directly
+	// between workers: a map attempt Sends each bucket to its reducer's
+	// endpoint, and a reduce attempt Receives the holes of Buckets from
+	// peers instead of unpacking them from the spec.
+	Shuffle *ShufflePlan
 	// CollectKeys asks a reduce attempt for per-key (per-stratum) counters.
 	CollectKeys bool
 	// Frozen tells the worker the coordinator runs under a FrozenClock: it
@@ -49,11 +65,17 @@ type TaskCounters struct {
 	// BucketSizes are the approximate (bucketApproxSize) per-reducer sizes
 	// of a map attempt's buckets — what the coordinator accounts as shuffle
 	// bytes when no Transport is installed, keeping metrics identical to an
-	// in-process run.
+	// in-process run. The direct path keeps using these for Metrics, so
+	// ShuffleBytes stay byte-identical across backends; the wire bytes the
+	// worker edge actually carried travel in TaskResult.DirectBytes.
 	BucketSizes []int64
 	// MapWall and CombineWall are worker-measured stage durations (zero
 	// under a frozen clock).
 	MapWall, CombineWall time.Duration
+	// RecvWall is the time a direct-path reduce attempt spent waiting for
+	// peer-delivered buckets (zero under a frozen clock, and on the routed
+	// path where the coordinator measures the receive itself).
+	RecvWall time.Duration
 }
 
 // TaskAttempt records one real failed attempt of a task: the worker it was
@@ -71,8 +93,18 @@ type TaskAttempt struct {
 // TaskResult is the outcome of one successfully executed task attempt.
 type TaskResult struct {
 	// Buckets are a map attempt's per-reducer shuffle payloads
-	// (encodeBucket format, exactly what the Transport path ships).
+	// (encodeBucket format, exactly what the Transport path ships). On the
+	// direct-shuffle path an entry is nil when the worker delivered it
+	// straight to its reducer's endpoint; payloads whose delivery failed
+	// (dead endpoint) stay in place, so the coordinator retains them as the
+	// routed fallback for exactly those buckets.
 	Buckets [][]byte
+	// DirectBytes counts the wire bytes (frame header + payload) a map
+	// attempt shipped directly to reducer endpoints. It is executor-level
+	// accounting — deliberately not folded into Metrics, which keep the
+	// backend-independent approximate sizes so metrics stay byte-identical
+	// across backends.
+	DirectBytes int64
 	// Output is a reduce attempt's gob-encoded output record slice.
 	Output []byte
 	// Counters are the attempt's measured counters.
@@ -106,6 +138,67 @@ type Executor interface {
 	// Close drains and releases the executor's workers. The executor
 	// outlives individual jobs; close it when the process is done.
 	Close() error
+}
+
+// ShufflePlan is the control-plane description of one job's direct
+// worker-to-worker shuffle: for every reducer, the worker that will execute
+// it and the shuffle-receiver endpoint its buckets must be sent to. The
+// coordinator exchanges only this metadata (plus bucket sizes and completion
+// acks); the bucket bytes themselves travel worker-to-worker.
+type ShufflePlan struct {
+	// Session namespaces this job run's buckets on every receiver, so
+	// back-to-back jobs on one worker pool cannot mix payloads.
+	Session string
+	// Workers[r] is the id of the worker that hosts reducer r's buckets and
+	// must execute its reduce attempt (shuffle affinity).
+	Workers []string
+	// Endpoints[r] is the shuffle-receiver address of Workers[r].
+	Endpoints []string
+	// TimeoutMs bounds how long a reduce attempt waits for peer-delivered
+	// buckets before reporting a lost shuffle.
+	TimeoutMs int64
+}
+
+// Timeout returns the receive deadline as a duration.
+func (p *ShufflePlan) Timeout() time.Duration { return time.Duration(p.TimeoutMs) * time.Millisecond }
+
+// DirectShuffler is implemented by executors whose workers can exchange
+// shuffle buckets directly (today: the TCP worker pool). The engine asks for
+// a plan per job run; a nil plan means the executor cannot shuffle directly
+// right now (no capable workers attached, or direct shuffle disabled) and
+// the coordinator-routed path is used instead.
+type DirectShuffler interface {
+	Executor
+	// PlanShuffle assigns the job's reducers to shuffle-capable workers.
+	PlanShuffle(job string, numReducers int) *ShufflePlan
+	// ExecuteOn runs one attempt on the named worker (shuffle affinity).
+	// Unlike Execute it never reassigns across workers: if the worker is
+	// gone — or reports that its peer-delivered buckets never arrived — it
+	// returns a *ShuffleLostError and the engine falls back to the routed
+	// path, replaying buckets through the coordinator.
+	ExecuteOn(worker string, spec *TaskSpec) (*TaskResult, error)
+}
+
+// ShuffleLostError reports that a direct-shuffle reduce attempt could not be
+// completed on its planned worker: the worker died (taking its received
+// buckets with it), its affinity queue was unreachable, or the expected
+// peer buckets never arrived before the deadline. It is retryable — not on
+// another worker, which would not hold the buckets either, but through the
+// coordinator-routed fallback, which replays the buckets from (deterministic)
+// map re-execution.
+type ShuffleLostError struct {
+	// Worker is the planned worker the attempt was lost on.
+	Worker string
+	// Reducer is the reduce task whose shuffle was lost.
+	Reducer int
+	// Reason describes what went wrong.
+	Reason string
+}
+
+// Error renders the lost shuffle, naming the planned worker.
+func (e *ShuffleLostError) Error() string {
+	return fmt.Sprintf("mapreduce: reducer %d lost its direct shuffle on worker %s: %s",
+		e.Reducer, e.Worker, e.Reason)
 }
 
 // InprocExecutor executes task specs in-process through the same registry

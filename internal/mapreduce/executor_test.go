@@ -2,8 +2,10 @@ package mapreduce
 
 import (
 	"bytes"
+	"log/slog"
 	"reflect"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 )
@@ -165,13 +167,21 @@ func TestRemoteGoldenSpans(t *testing.T) {
 
 // TestNonPortableJobFallsBack checks that a closure-only job (no Maker)
 // still runs correctly when a remote executor is installed: the engine
-// keeps it in-process instead of failing.
+// keeps it in-process instead of failing — and that the fallback is loud,
+// not silent: the counter moves and a structured warning names the job.
 func TestNonPortableJobFallsBack(t *testing.T) {
 	splits := remoteTestSplits()
 	want, err := Run(remoteTestCluster(), portableJob(5), splits)
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	var logs bytes.Buffer
+	prev := slog.Default()
+	slog.SetDefault(slog.New(slog.NewTextHandler(&logs, &slog.HandlerOptions{Level: slog.LevelWarn})))
+	defer slog.SetDefault(prev)
+	before := NonPortableFallbacks()
+
 	c := remoteTestCluster()
 	c.Executor = loopbackExecutor{}
 	job := remoteModCountJob() // no Maker set
@@ -182,6 +192,19 @@ func TestNonPortableJobFallsBack(t *testing.T) {
 	}
 	if !reflect.DeepEqual(want.Output, got.Output) {
 		t.Errorf("fallback output differs from in-process run")
+	}
+	if d := NonPortableFallbacks() - before; d != 1 {
+		t.Errorf("NonPortableFallbacks moved by %d, want 1", d)
+	}
+	out := logs.String()
+	if !strings.Contains(out, "job is not portable") {
+		t.Errorf("fallback warning missing from logs:\n%s", out)
+	}
+	if !strings.Contains(out, "job="+job.Name) {
+		t.Errorf("fallback warning does not name job %q:\n%s", job.Name, out)
+	}
+	if !strings.Contains(out, "executor=loopback") {
+		t.Errorf("fallback warning does not name the bypassed executor:\n%s", out)
 	}
 }
 

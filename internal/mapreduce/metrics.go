@@ -32,6 +32,10 @@ type Metrics struct {
 	MapAttempts    int64
 	ReduceAttempts int64
 
+	// ShuffleRetries counts shuffle Receive attempts that were retried after
+	// a transient timeout (see Cluster.ShuffleRetry). Zero on a healthy run.
+	ShuffleRetries int64
+
 	// SimulatedMap includes per-task map and combine work scheduled over
 	// the cluster's slots; SimulatedShuffle models the network transfer;
 	// SimulatedReduce the reduce wave.
@@ -95,6 +99,7 @@ func (m *Metrics) Add(o Metrics) {
 	m.OutputRecords += o.OutputRecords
 	m.MapAttempts += o.MapAttempts
 	m.ReduceAttempts += o.ReduceAttempts
+	m.ShuffleRetries += o.ShuffleRetries
 	m.SimulatedMap += o.SimulatedMap
 	m.SimulatedShuffle += o.SimulatedShuffle
 	m.SimulatedReduce += o.SimulatedReduce

@@ -1,0 +1,74 @@
+package mapreduce
+
+import (
+	"errors"
+	"time"
+)
+
+// ShuffleRetryPolicy bounds re-attempts of a shuffle receive that timed out
+// (*ReceiveTimeoutError). A timeout is transient when the sending side is
+// merely slow — a map attempt being reassigned after a worker death, a
+// congested link — so giving the transfer another bounded wait beats failing
+// the whole job on the first expiry. Receives are only retried while the
+// senders can still deliver (the alive check); decode errors and other
+// transport failures are never retried.
+type ShuffleRetryPolicy struct {
+	// MaxRetries is how many extra Receive attempts follow a timeout.
+	// 0 means the default (2); negative disables retries entirely.
+	MaxRetries int
+	// Backoff delays each retry, scaled linearly by the retry number.
+	// Default 50ms.
+	Backoff time.Duration
+}
+
+func (p ShuffleRetryPolicy) fill() ShuffleRetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 2
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 50 * time.Millisecond
+	}
+	return p
+}
+
+// receiveRetrying wraps Transport.Receive with the policy: a
+// *ReceiveTimeoutError is retried — after backoff — while attempts remain and
+// alive() (when non-nil) still reports that the senders' side is up; the
+// engine wires alive to the executor's live-worker count, so a shuffle whose
+// senders all crashed fails fast instead of burning the retry budget. It
+// returns the payloads, the number of retries it performed, and the final
+// error.
+func receiveRetrying(t Transport, reducer, expect int, pol ShuffleRetryPolicy, alive func() bool) ([][]byte, int64, error) {
+	pol = pol.fill()
+	var retries int64
+	for {
+		payloads, err := t.Receive(reducer, expect)
+		if err == nil {
+			return payloads, retries, nil
+		}
+		var timeout *ReceiveTimeoutError
+		if !errors.As(err, &timeout) {
+			return nil, retries, err
+		}
+		if pol.MaxRetries < 0 || retries >= int64(pol.MaxRetries) {
+			return nil, retries, err
+		}
+		if alive != nil && !alive() {
+			return nil, retries, err
+		}
+		retries++
+		time.Sleep(time.Duration(retries) * pol.Backoff)
+	}
+}
+
+// executorAlive derives the retry liveness check from an executor: retries
+// continue only while the executor still has live workers to deliver the
+// missing buckets. Executors that don't expose liveness — and the in-process
+// engine, which has no leases at all — retry unconditionally (still bounded
+// by MaxRetries).
+func executorAlive(exec Executor) func() bool {
+	if lw, ok := exec.(interface{ LiveWorkers() int }); ok {
+		return func() bool { return lw.LiveWorkers() > 0 }
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package mapreduce
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyTransport fails Receive with a *ReceiveTimeoutError a configured
+// number of times, then delegates to a working in-memory transport. It
+// models a slow sender: the bucket arrives, just after the first deadline.
+type flakyTransport struct {
+	Transport
+	failures int64
+	calls    atomic.Int64 // reducers receive concurrently under the engine
+}
+
+func (f *flakyTransport) Receive(reducer, expect int) ([][]byte, error) {
+	if f.calls.Add(1) <= f.failures {
+		return nil, &ReceiveTimeoutError{Reducer: reducer, Task: 0, Timeout: time.Millisecond}
+	}
+	return f.Transport.Receive(reducer, expect)
+}
+
+func flakyFixture(t *testing.T, failures int) *flakyTransport {
+	t.Helper()
+	mem := NewMemTransport()
+	if _, err := mem.Send(0, 0, []byte("bucket-0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Send(1, 0, []byte("bucket-1")); err != nil {
+		t.Fatal(err)
+	}
+	return &flakyTransport{Transport: mem, failures: int64(failures)}
+}
+
+func TestReceiveRetryingRecoversFromTransientTimeout(t *testing.T) {
+	ft := flakyFixture(t, 2)
+	pol := ShuffleRetryPolicy{MaxRetries: 3, Backoff: time.Millisecond}
+	payloads, retries, err := receiveRetrying(ft, 0, 2, pol, nil)
+	if err != nil {
+		t.Fatalf("receive failed despite retry budget: %v", err)
+	}
+	if retries != 2 {
+		t.Errorf("retries = %d, want 2", retries)
+	}
+	if len(payloads) != 2 || string(payloads[0]) != "bucket-0" || string(payloads[1]) != "bucket-1" {
+		t.Errorf("unexpected payloads after retry: %q", payloads)
+	}
+}
+
+func TestReceiveRetryingExhaustsBudget(t *testing.T) {
+	ft := flakyFixture(t, 10)
+	pol := ShuffleRetryPolicy{MaxRetries: 2, Backoff: time.Millisecond}
+	_, retries, err := receiveRetrying(ft, 0, 2, pol, nil)
+	var timeout *ReceiveTimeoutError
+	if !errors.As(err, &timeout) {
+		t.Fatalf("want *ReceiveTimeoutError after budget exhaustion, got %v", err)
+	}
+	if retries != 2 {
+		t.Errorf("retries = %d, want 2 (the whole budget)", retries)
+	}
+	if n := ft.calls.Load(); n != 3 {
+		t.Errorf("Receive called %d times, want 3 (initial + 2 retries)", n)
+	}
+}
+
+func TestReceiveRetryingDisabled(t *testing.T) {
+	ft := flakyFixture(t, 1)
+	pol := ShuffleRetryPolicy{MaxRetries: -1, Backoff: time.Millisecond}
+	_, retries, err := receiveRetrying(ft, 0, 2, pol, nil)
+	var timeout *ReceiveTimeoutError
+	if !errors.As(err, &timeout) {
+		t.Fatalf("disabled policy must surface the first timeout, got %v", err)
+	}
+	if retries != 0 || ft.calls.Load() != 1 {
+		t.Errorf("retries=%d calls=%d, want 0 and 1", retries, ft.calls.Load())
+	}
+}
+
+func TestReceiveRetryingStopsWhenSendersDead(t *testing.T) {
+	ft := flakyFixture(t, 10)
+	pol := ShuffleRetryPolicy{MaxRetries: 5, Backoff: time.Millisecond}
+	alive := func() bool { return false }
+	_, retries, err := receiveRetrying(ft, 0, 2, pol, alive)
+	var timeout *ReceiveTimeoutError
+	if !errors.As(err, &timeout) {
+		t.Fatalf("want timeout error when senders are dead, got %v", err)
+	}
+	if retries != 0 {
+		t.Errorf("retried %d times with no live senders, want 0", retries)
+	}
+}
+
+// brokenTransport always fails Receive with a permanent (non-timeout) error.
+type brokenTransport struct {
+	Transport
+	calls int
+}
+
+func (b *brokenTransport) Receive(reducer, expect int) ([][]byte, error) {
+	b.calls++
+	return nil, errors.New("decode failure")
+}
+
+// Non-timeout errors must never be retried.
+func TestReceiveRetryingOnlyRetriesTimeouts(t *testing.T) {
+	bt := &brokenTransport{Transport: NewMemTransport()}
+	pol := ShuffleRetryPolicy{MaxRetries: 5, Backoff: time.Millisecond}
+	_, retries, err := receiveRetrying(bt, 0, 1, pol, nil)
+	if err == nil || retries != 0 || bt.calls != 1 {
+		t.Errorf("err=%v retries=%d calls=%d; want one failing call, no retries", err, retries, bt.calls)
+	}
+}
+
+// The policy surfaces in end-to-end metrics: a transported run with an
+// injected transient timeout completes and reports ShuffleRetries > 0.
+func TestShuffleRetriesSurfaceInMetrics(t *testing.T) {
+	splits := remoteTestSplits()
+	want, err := Run(remoteTestCluster(), portableJob(11), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := remoteTestCluster()
+	c.ShuffleRetry = ShuffleRetryPolicy{MaxRetries: 3, Backoff: time.Millisecond}
+	c.NewTransport = func() (Transport, error) {
+		return &flakyTransport{Transport: NewMemTransport(), failures: 1}, nil
+	}
+	got, err := Run(c, portableJob(11), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics.ShuffleRetries == 0 {
+		t.Error("Metrics.ShuffleRetries = 0, want > 0 after an injected timeout")
+	}
+	if want.Output == nil || len(got.Output) != len(want.Output) {
+		t.Errorf("retried run output differs: %d keys vs %d", len(got.Output), len(want.Output))
+	}
+}

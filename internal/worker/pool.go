@@ -1,10 +1,13 @@
 package worker
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mapreduce"
@@ -52,6 +55,12 @@ type taskReq struct {
 	spec     *mapreduce.TaskSpec
 	attempts []mapreduce.TaskAttempt
 	done     chan taskOutcome
+	// affine names the one worker this task must run on (shuffle affinity:
+	// the worker holds the task's peer-delivered buckets). An affine task is
+	// never reassigned — if its worker dies the outcome is a
+	// *mapreduce.ShuffleLostError, and the engine falls back to the routed
+	// path instead of retrying here.
+	affine string
 }
 
 type taskOutcome struct {
@@ -68,10 +77,18 @@ type pool struct {
 	queue chan *taskReq
 	quit  chan struct{}
 
-	mu     sync.Mutex
-	live   int
-	closed bool
-	wg     sync.WaitGroup // worker lease loops
+	mu      sync.Mutex
+	live    int
+	closed  bool
+	workers map[string]*workerHandle // attached workers by id, for affinity
+	wg      sync.WaitGroup           // worker lease loops
+
+	// Shuffle data-plane accounting (see ShuffleStats): bucket bytes the
+	// coordinator carried inside task/result frames vs bytes the workers
+	// moved edge-to-edge, and how many direct attempts were lost.
+	routedBucketBytes atomic.Int64
+	directBytes       atomic.Int64
+	shuffleLost       atomic.Int64
 }
 
 func newPool(cfg Config) *pool {
@@ -80,8 +97,9 @@ func newPool(cfg Config) *pool {
 		// The buffer bounds nothing semantically — the engine has at most
 		// its worker-pool width of Executes in flight — it only keeps
 		// requeues from ever blocking a dying worker's loop.
-		queue: make(chan *taskReq, 4096),
-		quit:  make(chan struct{}),
+		queue:   make(chan *taskReq, 4096),
+		quit:    make(chan struct{}),
+		workers: make(map[string]*workerHandle),
 	}
 }
 
@@ -109,11 +127,58 @@ func (p *pool) submit(req *taskReq) error {
 	return nil
 }
 
+// executeOn queues one task for a specific worker (shuffle affinity) and
+// waits for it. Unlike execute it never reassigns: when the worker is not
+// attached, its affinity queue is saturated, or it dies mid-attempt, the
+// error is a *mapreduce.ShuffleLostError and the caller falls back to the
+// routed path.
+func (p *pool) executeOn(worker string, spec *mapreduce.TaskSpec) (*mapreduce.TaskResult, error) {
+	req := &taskReq{spec: spec, done: make(chan taskOutcome, 1), affine: worker}
+	p.mu.Lock()
+	w := p.workers[worker]
+	if p.closed || w == nil {
+		p.mu.Unlock()
+		p.shuffleLost.Add(1)
+		return nil, &mapreduce.ShuffleLostError{
+			Worker: worker, Reducer: spec.Task, Reason: "worker no longer attached",
+		}
+	}
+	select {
+	case w.affine <- req:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		p.shuffleLost.Add(1)
+		return nil, &mapreduce.ShuffleLostError{
+			Worker: worker, Reducer: spec.Task, Reason: "affinity queue saturated",
+		}
+	}
+	out := <-req.done
+	return out.res, out.err
+}
+
 // liveWorkers reports how many workers are currently attached.
 func (p *pool) liveWorkers() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.live
+}
+
+// shufflePeers lists the attached workers that announced a shuffle-receiver
+// endpoint, sorted by id so plans are stable for a given pool membership.
+func (p *pool) shufflePeers() (ids, endpoints []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, w := range p.workers {
+		if w.shuffleAddr != "" {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		endpoints = append(endpoints, p.workers[id].shuffleAddr)
+	}
+	return ids, endpoints
 }
 
 // frameOrErr is one read-loop delivery: a frame, or the read error that
@@ -124,26 +189,36 @@ type frameOrErr struct {
 }
 
 type workerHandle struct {
-	id        string
-	conn      *frameConn
-	closeConn func()
-	closeOnce sync.Once
-	seq       uint64
-	frames    chan frameOrErr
-	gone      chan struct{} // closed by workerGone; unblocks the read loop
+	id          string
+	shuffleAddr string // the worker's shuffle-receiver endpoint, "" if none
+	conn        *frameConn
+	closeConn   func()
+	closeOnce   sync.Once
+	seq         uint64
+	frames      chan frameOrErr
+	affine      chan *taskReq // tasks pinned to this worker (shuffle affinity)
+	gone        chan struct{} // closed by workerGone; unblocks the read loop
 }
 
 // attach registers a connected worker (its hello already consumed) and
-// starts its lease loop. closeConn force-closes the underlying stream or
-// process when the worker is dropped or the pool drains.
-func (p *pool) attach(id string, conn *frameConn, closeConn func()) {
+// starts its lease loop. shuffleAddr is the shuffle-receiver endpoint the
+// hello announced ("" for routed-only workers). closeConn force-closes the
+// underlying stream or process when the worker is dropped or the pool drains.
+func (p *pool) attach(id, shuffleAddr string, conn *frameConn, closeConn func()) {
 	w := &workerHandle{
-		id: id, conn: conn, closeConn: closeConn,
+		id: id, shuffleAddr: shuffleAddr, conn: conn, closeConn: closeConn,
 		frames: make(chan frameOrErr),
+		// The affinity queue is deep enough for any realistic reducer count;
+		// executeOn turns a saturated queue into a lost shuffle rather than
+		// blocking the engine.
+		affine: make(chan *taskReq, 1024),
 		gone:   make(chan struct{}),
 	}
 	p.mu.Lock()
 	p.live++
+	// Latest registration wins a contended id; the previous holder keeps
+	// running tasks from the shared queue but is no longer an affinity target.
+	p.workers[id] = w
 	p.wg.Add(1)
 	p.mu.Unlock()
 	go w.readLoop()
@@ -168,13 +243,47 @@ func (w *workerHandle) readLoop() {
 }
 
 // workerGone is called once per attached worker, when its lease loop ends.
+// Removing the registry entry under the same lock executeOn enqueues under
+// means every affine task either reached the queue before removal — and is
+// failed by the drain below — or finds the worker missing; none are stranded.
 func (p *pool) workerGone(w *workerHandle) {
 	w.closeOnce.Do(w.closeConn)
 	close(w.gone)
 	p.mu.Lock()
 	p.live--
+	if p.workers[w.id] == w {
+		delete(p.workers, w.id)
+	}
+	if p.live == 0 {
+		// The last worker just died: fail everything still queued. No loop
+		// remains to pick these up, and submit (which shares this lock)
+		// rejects new work until another worker attaches — without this
+		// drain, tasks queued before the death would hang forever.
+		for {
+			select {
+			case req := <-p.queue:
+				req.done <- taskOutcome{err: fmt.Errorf(
+					"worker: no live workers left for %s task %d (all crashed before it ran)",
+					req.spec.Phase, req.spec.Task)}
+				continue
+			default:
+			}
+			break
+		}
+	}
 	p.mu.Unlock()
-	p.wg.Done()
+	for {
+		select {
+		case req := <-w.affine:
+			p.shuffleLost.Add(1)
+			req.done <- taskOutcome{err: &mapreduce.ShuffleLostError{
+				Worker: w.id, Reducer: req.spec.Task, Reason: "worker died before its affine task ran",
+			}}
+		default:
+			p.wg.Done()
+			return
+		}
+	}
 }
 
 // serveWorker leases tasks to one worker until the pool closes or the
@@ -191,24 +300,46 @@ func (p *pool) serveWorker(w *workerHandle) {
 		case <-p.quit:
 			w.drain(p.cfg.LeaseTimeout)
 			return
+		case req = <-w.affine:
 		case req = <-p.queue:
+		}
+		for _, b := range req.spec.Buckets {
+			p.routedBucketBytes.Add(int64(len(b)))
 		}
 		res, taskErr, workerErr := w.do(req, p.cfg.LeaseTimeout)
 		switch {
 		case workerErr != nil:
+			slog.Warn("worker: attempt failed, dropping worker",
+				"worker", w.id, "job", req.spec.Job, "phase", req.spec.Phase,
+				"task", req.spec.Task, "affine", req.affine != "", "err", workerErr)
+			if req.affine != "" {
+				// An affine task cannot move: no other worker holds its
+				// peer-delivered buckets. Report the shuffle lost so the
+				// engine replays it over the routed path.
+				p.shuffleLost.Add(1)
+				req.done <- taskOutcome{err: &mapreduce.ShuffleLostError{
+					Worker: w.id, Reducer: req.spec.Task, Reason: workerErr.Error(),
+				}}
+				return
+			}
 			req.attempts = append(req.attempts, mapreduce.TaskAttempt{
 				Worker: w.id, Err: workerErr.Error(),
 			})
-			slog.Warn("worker: attempt failed, dropping worker",
-				"worker", w.id, "job", req.spec.Job, "phase", req.spec.Phase,
-				"task", req.spec.Task, "attempt", len(req.attempts), "err", workerErr)
 			p.retryOrFail(req)
 			return
 		case taskErr != nil:
+			var lost *mapreduce.ShuffleLostError
+			if errors.As(taskErr, &lost) {
+				p.shuffleLost.Add(1)
+			}
 			req.done <- taskOutcome{err: taskErr}
 		default:
 			res.Worker = w.id
 			res.FailedAttempts = req.attempts
+			for _, b := range res.Buckets {
+				p.routedBucketBytes.Add(int64(len(b)))
+			}
+			p.directBytes.Add(res.DirectBytes)
 			req.done <- taskOutcome{res: res}
 		}
 	}
@@ -283,6 +414,14 @@ func (w *workerHandle) do(req *taskReq, lease time.Duration) (res *mapreduce.Tas
 					return nil, nil, fmt.Errorf("result for task seq %d, want %d", f.env.Seq, seq)
 				}
 				if f.env.Err != "" {
+					if f.env.ShuffleLost {
+						// The worker is healthy but the attempt's peer
+						// buckets are gone; surface the typed error so the
+						// engine can fall back to the routed path.
+						return nil, &mapreduce.ShuffleLostError{
+							Worker: w.id, Reducer: req.spec.Task, Reason: f.env.Err,
+						}, nil
+					}
 					return nil, fmt.Errorf("worker %s: %s", w.id, f.env.Err), nil
 				}
 				if f.env.Result == nil {
@@ -314,6 +453,31 @@ func (w *workerHandle) drain(wait time.Duration) {
 		case <-timer.C:
 			return
 		}
+	}
+}
+
+// ShuffleStats reports where a pool's shuffle bucket bytes traveled — the
+// observable half of the direct-shuffle optimization. On a healthy direct
+// run RoutedBucketBytes is zero: no bucket payload ever crossed a
+// coordinator frame, in either direction.
+type ShuffleStats struct {
+	// DirectBytes are wire bytes workers pushed edge-to-edge (shuffle frame
+	// header + session + payload), bypassing the coordinator.
+	DirectBytes int64
+	// RoutedBucketBytes are bucket payload bytes the coordinator carried
+	// inside task and result frames: the whole shuffle for routed backends,
+	// only retained stragglers and fallback replays for direct ones.
+	RoutedBucketBytes int64
+	// Lost counts direct attempts that ended in a ShuffleLostError and fell
+	// back to the routed path.
+	Lost int64
+}
+
+func (p *pool) shuffleStats() ShuffleStats {
+	return ShuffleStats{
+		DirectBytes:       p.directBytes.Load(),
+		RoutedBucketBytes: p.routedBucketBytes.Load(),
+		Lost:              p.shuffleLost.Load(),
 	}
 }
 

@@ -38,6 +38,11 @@ type envelope struct {
 	Kind msgKind
 	// ID is the worker id (hello frames).
 	ID string
+	// ShuffleAddr is the worker's shuffle-receiver endpoint (hello frames):
+	// the address peer workers push this worker's reduce buckets to. Empty
+	// when the worker cannot receive directly (stdio workers, direct shuffle
+	// disabled); the coordinator then keeps that worker off shuffle plans.
+	ShuffleAddr string
 	// Seq correlates a result with its task frame.
 	Seq uint64
 	// Spec is the task attempt to execute (task frames).
@@ -48,6 +53,11 @@ type envelope struct {
 	// task-level failure (bad payload, unregistered job maker): it is
 	// deterministic, so the coordinator fails the task instead of retrying.
 	Err string
+	// ShuffleLost marks an Err as a lost direct shuffle (result frames): the
+	// peer-delivered buckets this reduce attempt needed never arrived or are
+	// unreachable. Unlike other task errors it is recoverable — the
+	// coordinator replays the buckets over the routed path.
+	ShuffleLost bool
 }
 
 // maxFrameSize bounds a single frame, as a guard against a corrupted or

@@ -38,6 +38,14 @@ type ServeOptions struct {
 	// ExitAfter is the chaos crash point (see ChaosExitEnv, which fills it
 	// when zero): receiving the n-th task aborts the loop.
 	ExitAfter int
+	// RoutedShuffle keeps a TCP worker from starting a shuffle receiver, so
+	// all its buckets travel through the coordinator. Stdio workers are
+	// always routed (their only channel is the coordinator pipe).
+	RoutedShuffle bool
+
+	// shuffle is the worker's direct-shuffle receiver, created by ServeTCP
+	// and announced in the hello frame.
+	shuffle *shuffleReceiver
 }
 
 func (o ServeOptions) fill() ServeOptions {
@@ -66,7 +74,11 @@ func (o ServeOptions) fill() ServeOptions {
 func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
 	opts = opts.fill()
 	conn := newFrameConn(r, w)
-	if err := conn.write(&envelope{Kind: msgHello, ID: opts.ID}); err != nil {
+	hello := &envelope{Kind: msgHello, ID: opts.ID}
+	if opts.shuffle != nil {
+		hello.ShuffleAddr = opts.shuffle.addr()
+	}
+	if err := conn.write(hello); err != nil {
 		return err
 	}
 	stop := make(chan struct{})
@@ -105,8 +117,9 @@ func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
 			reply := &envelope{Kind: msgResult, Seq: env.Seq}
 			if env.Spec == nil {
 				reply.Err = "task frame without spec"
-			} else if res, err := mapreduce.ExecuteTask(env.Spec); err != nil {
+			} else if res, lost, err := executeSpec(env.Spec, opts.shuffle); err != nil {
 				reply.Err = err.Error()
+				reply.ShuffleLost = lost
 			} else {
 				reply.Result = res
 			}
@@ -121,6 +134,110 @@ func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
 			return fmt.Errorf("worker %s: unexpected %v frame", opts.ID, env.Kind)
 		}
 	}
+}
+
+// executeSpec runs one task attempt, wrapping mapreduce.ExecuteTask with the
+// direct-shuffle data plane when the spec carries a ShufflePlan: map attempts
+// push their buckets straight to the reducers' endpoints, reduce attempts
+// pull their missing buckets from this worker's receiver. lost=true flags a
+// recoverable lost shuffle (the coordinator replays over the routed path);
+// every other error is a deterministic task failure.
+func executeSpec(spec *mapreduce.TaskSpec, recv *shuffleReceiver) (res *mapreduce.TaskResult, lost bool, err error) {
+	if spec.Shuffle == nil {
+		res, err = mapreduce.ExecuteTask(spec)
+		return res, false, err
+	}
+	switch spec.Phase {
+	case "map":
+		res, err = mapreduce.ExecuteTask(spec)
+		if err != nil {
+			return nil, false, err
+		}
+		deliverBuckets(spec, res)
+		return res, false, nil
+	case "reduce":
+		return executeDirectReduce(spec, recv)
+	default:
+		res, err = mapreduce.ExecuteTask(spec)
+		return res, false, err
+	}
+}
+
+// deliverBuckets pushes a map attempt's buckets to their reducers' endpoints,
+// grouped so each destination worker is dialed once per attempt. Delivered
+// buckets are nilled out of the result — the coordinator must not carry them —
+// and their wire bytes accumulate in DirectBytes. A failed push (dead or
+// unreachable endpoint) retains the undelivered payloads in the result, so
+// the coordinator keeps them as the routed fallback for exactly those buckets.
+func deliverBuckets(spec *mapreduce.TaskSpec, res *mapreduce.TaskResult) {
+	plan := spec.Shuffle
+	groups := make(map[string][]int)
+	var order []string
+	for r := range res.Buckets {
+		if r >= len(plan.Endpoints) || plan.Endpoints[r] == "" {
+			continue
+		}
+		ep := plan.Endpoints[r]
+		if _, ok := groups[ep]; !ok {
+			order = append(order, ep)
+		}
+		groups[ep] = append(groups[ep], r)
+	}
+	for _, ep := range order {
+		sent, n, err := shuffleSendGroup(ep, plan.Session, spec.Task, groups[ep], res.Buckets)
+		res.DirectBytes += int64(n)
+		for _, r := range sent {
+			res.Buckets[r] = nil
+		}
+		if err != nil {
+			slog.Warn("worker: direct bucket push failed, retaining for routed fallback",
+				"job", spec.Job, "map_task", spec.Task, "endpoint", ep,
+				"delivered", len(sent), "retained", len(groups[ep])-len(sent), "err", err)
+		}
+	}
+}
+
+// executeDirectReduce waits for the reduce attempt's peer-delivered buckets,
+// then runs the task core on the completed bucket set. Buckets the
+// coordinator shipped inline (retained by a map attempt whose push failed)
+// are used as-is; only true holes are awaited.
+func executeDirectReduce(spec *mapreduce.TaskSpec, recv *shuffleReceiver) (*mapreduce.TaskResult, bool, error) {
+	plan := spec.Shuffle
+	if recv == nil {
+		return nil, true, fmt.Errorf("worker: no shuffle receiver for direct reduce task %d", spec.Task)
+	}
+	buckets := make([][]byte, spec.NumMapTasks)
+	copy(buckets, spec.Buckets)
+	var need []int
+	for t := range buckets {
+		if len(buckets[t]) == 0 {
+			need = append(need, t)
+		}
+	}
+	var recvWall time.Duration
+	if len(need) > 0 {
+		start := time.Now()
+		got, err := recv.receive(plan.Session, spec.Task, need, plan.Timeout())
+		if err != nil {
+			return nil, true, err
+		}
+		if !spec.Frozen {
+			recvWall = time.Since(start)
+		}
+		for t, payload := range got {
+			buckets[t] = payload
+		}
+	}
+	filled := *spec
+	filled.Buckets = buckets
+	filled.Shuffle = nil
+	res, err := mapreduce.ExecuteTask(&filled)
+	if err != nil {
+		return nil, false, err
+	}
+	res.Counters.RecvWall = recvWall
+	recv.forget(plan.Session, spec.Task)
+	return res, false, nil
 }
 
 // ServeStdio serves a subprocess worker over stdin/stdout — the loop the
@@ -141,11 +258,23 @@ func ServeStdio(opts ServeOptions) {
 
 // ServeTCP dials a TCPExecutor's address and serves until drained. It is
 // the loop behind "strata worker -connect addr" and TCPExecutor.SpawnLocal.
+// Unless opts.RoutedShuffle is set, the worker starts an embedded shuffle
+// receiver and announces its endpoint in the hello frame, which makes it
+// eligible for direct worker-to-worker bucket delivery.
 func ServeTCP(addr string, opts ServeOptions) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("worker: connecting to coordinator %s: %w", addr, err)
 	}
 	defer conn.Close()
+	if !opts.RoutedShuffle {
+		recv, err := newShuffleReceiver()
+		if err != nil {
+			slog.Warn("worker: direct shuffle unavailable, serving routed", "err", err)
+		} else {
+			defer recv.close()
+			opts.shuffle = recv
+		}
+	}
 	return Serve(conn, conn, opts)
 }

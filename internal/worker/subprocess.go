@@ -87,11 +87,13 @@ func (e *SubprocessExecutor) spawn(i int) error {
 	proc := &workerProc{cmd: cmd, stdin: stdin}
 	e.procs = append(e.procs, proc)
 	conn := newFrameConn(stdout, stdin)
-	id, err := awaitHello(conn, e.cfg.LeaseTimeout)
+	// Stdio workers never announce a shuffle receiver (their only channel is
+	// the coordinator pipe), so this executor always shuffles routed.
+	id, _, err := awaitHello(conn, e.cfg.LeaseTimeout)
 	if err != nil {
 		return fmt.Errorf("worker sp-%d: %w", i, err)
 	}
-	e.pool.attach(id, conn, func() {
+	e.pool.attach(id, "", conn, func() {
 		// Closing stdin EOFs the worker's serve loop; a healthy worker
 		// exits on its own, a hung one is reaped (and killed) by Close.
 		// Closing stdout too unblocks the pool's read loop before the
@@ -102,8 +104,10 @@ func (e *SubprocessExecutor) spawn(i int) error {
 	return nil
 }
 
-// awaitHello reads the worker's hello frame, bounded by timeout.
-func awaitHello(conn *frameConn, timeout time.Duration) (string, error) {
+// awaitHello reads the worker's hello frame, bounded by timeout. It returns
+// the announced worker id and shuffle-receiver endpoint ("" for routed-only
+// workers).
+func awaitHello(conn *frameConn, timeout time.Duration) (id, shuffleAddr string, err error) {
 	type helloOrErr struct {
 		env *envelope
 		err error
@@ -115,15 +119,15 @@ func awaitHello(conn *frameConn, timeout time.Duration) (string, error) {
 	}()
 	select {
 	case <-time.After(timeout):
-		return "", fmt.Errorf("timed out after %v waiting for hello", timeout)
+		return "", "", fmt.Errorf("timed out after %v waiting for hello", timeout)
 	case h := <-ch:
 		if h.err != nil {
-			return "", fmt.Errorf("reading hello: %w", h.err)
+			return "", "", fmt.Errorf("reading hello: %w", h.err)
 		}
 		if h.env.Kind != msgHello {
-			return "", fmt.Errorf("expected hello, got %v frame", h.env.Kind)
+			return "", "", fmt.Errorf("expected hello, got %v frame", h.env.Kind)
 		}
-		return h.env.ID, nil
+		return h.env.ID, h.env.ShuffleAddr, nil
 	}
 }
 
@@ -135,6 +139,15 @@ func (e *SubprocessExecutor) Name() string { return "subprocess" }
 func (e *SubprocessExecutor) Execute(spec *mapreduce.TaskSpec) (*mapreduce.TaskResult, error) {
 	return e.pool.execute(spec)
 }
+
+// LiveWorkers reports how many worker processes are attached; the engine's
+// shuffle retry policy uses it to stop retrying once every sender is gone.
+func (e *SubprocessExecutor) LiveWorkers() int { return e.pool.liveWorkers() }
+
+// ShuffleStats reports where this executor's shuffle bytes traveled. A
+// subprocess pool always shuffles through the coordinator, so DirectBytes
+// stays zero and RoutedBucketBytes counts the whole shuffle.
+func (e *SubprocessExecutor) ShuffleStats() ShuffleStats { return e.pool.shuffleStats() }
 
 // Kill force-kills the i-th worker process — a chaos hook for tests that
 // need a worker to die at a point of their choosing.
