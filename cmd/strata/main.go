@@ -6,7 +6,7 @@
 // Usage:
 //
 //	strata [-v] [-log level] [-trace spans.jsonl] [-debug-addr addr] [-progress]
-//	       [-backend inproc|subprocess|tcp] [-workers n] <command> ...
+//	       [-backend inproc|subprocess|tcp] [-workers n] [-wire binary|gob] <command> ...
 //
 //	strata generate    -n 10000 [-uniform] [-graph] [-seed 1] [-stats] [-csv]
 //	strata sample      -n 10000 -query "nop >= 100 : 5; nop < 100 : 10" [-slaves 4]
@@ -104,6 +104,6 @@ commands:
   worker       serve tasks for a coordinator (-stdio, or -connect host:port)
 
 global flags: -v, -log <level>, -trace <spans.jsonl>, -debug-addr <addr>, -progress,
-              -backend inproc|subprocess|tcp, -workers <n>
+              -backend inproc|subprocess|tcp, -workers <n>, -wire binary|gob
 run "strata <command> -h" for command flags.`)
 }

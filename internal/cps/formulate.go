@@ -31,6 +31,12 @@ type SolveOptions struct {
 	// byte-identical to a serial solve. 0 means GOMAXPROCS; 1 restores
 	// serial solving. Ignored by the joint formulation (one program).
 	Parallelism int
+	// WarmStart, when non-nil, carries solved blocks between decomposed
+	// solves (Campaign installs one automatically across waves): unchanged
+	// blocks reuse their previous solution verbatim, changed blocks with
+	// the same variable set seed lp.SolveFrom with the previous basis.
+	// Ignored in Integer mode and by the joint formulation.
+	WarmStart *WarmStart
 }
 
 func (o SolveOptions) epsilon() float64 {
@@ -186,7 +192,7 @@ func solveDecomposed(stats *Stats, costs query.Coster, opts SolveOptions) (*Plan
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					blocks[i] = solveBlock(stats.Entries[keys[i]], costs, opts)
+					blocks[i] = solveBlock(keys[i], stats.Entries[keys[i]], costs, opts)
 				}
 			}()
 		}
@@ -197,7 +203,7 @@ func solveDecomposed(stats *Stats, costs query.Coster, opts SolveOptions) (*Plan
 		wg.Wait()
 	} else {
 		for i := range keys {
-			blocks[i] = solveBlock(stats.Entries[keys[i]], costs, opts)
+			blocks[i] = solveBlock(keys[i], stats.Entries[keys[i]], costs, opts)
 		}
 	}
 
@@ -226,11 +232,29 @@ type solvedBlock struct {
 	err  error
 }
 
-// solveBlock formulates and solves one selection's program.
-func solveBlock(e *SelEntry, costs query.Coster, opts SolveOptions) (b solvedBlock) {
+// solveBlock formulates and solves one selection's program, consulting the
+// warm-start store (when one is installed) before and after.
+func solveBlock(key string, e *SelEntry, costs query.Coster, opts SolveOptions) (b solvedBlock) {
 	b.taus = varsFor(e.Sel)
 	if len(b.taus) == 0 {
 		return b
+	}
+	warm := opts.WarmStart
+	if opts.Integer {
+		warm = nil // basis seeding has no meaning under branch and bound
+	}
+	var fp string
+	var prev warmBlock
+	var hasPrev bool
+	if warm != nil {
+		fp = blockFingerprint(e, b.taus, costs)
+		if prev, hasPrev = warm.lookup(key); hasPrev && prev.fp == fp {
+			// Identical program: the previous solution, verbatim — the
+			// bit-identical dominant case across campaign waves.
+			b.sol, b.cons = prev.sol, prev.cons
+			warm.count(&warm.hits.Reused)
+			return b
+		}
 	}
 	prob := lp.NewProblem(len(b.taus))
 	prob.Names = make([]string, len(b.taus))
@@ -239,9 +263,24 @@ func solveBlock(e *SelEntry, costs query.Coster, opts SolveOptions) (b solvedBlo
 		return b
 	}
 	b.cons = len(prob.Cons)
-	b.sol, b.err = solveOne(prob, opts)
+	if warm != nil && hasPrev && prev.vars == len(b.taus) && len(prev.basis) > 0 {
+		// Same variable set, different numbers: seed phase 2 from the
+		// previous basis. lp.SolveFrom degrades to a cold solve itself when
+		// the basis no longer applies.
+		b.sol, b.err = checkOptimal(lp.SolveFrom(prob, prev.basis))
+		warm.count(&warm.hits.Seeded)
+	} else {
+		b.sol, b.err = solveOne(prob, opts)
+		if warm != nil {
+			warm.count(&warm.hits.Cold)
+		}
+	}
 	if b.err != nil {
 		b.err = fmt.Errorf("cps: selection %s: %w", e.Sel, b.err)
+		return b
+	}
+	if warm != nil {
+		warm.store(key, warmBlock{fp: fp, vars: len(b.taus), cons: b.cons, basis: b.sol.Basis, sol: b.sol})
 	}
 	return b
 }
@@ -293,13 +332,13 @@ func solveJoint(stats *Stats, costs query.Coster, opts SolveOptions) (*Plan, err
 }
 
 func solveOne(prob *lp.Problem, opts SolveOptions) (*lp.Solution, error) {
-	var sol *lp.Solution
-	var err error
 	if opts.Integer {
-		sol, err = lp.SolveInteger(prob, 0)
-	} else {
-		sol, err = lp.Solve(prob)
+		return checkOptimal(lp.SolveInteger(prob, 0))
 	}
+	return checkOptimal(lp.Solve(prob))
+}
+
+func checkOptimal(sol *lp.Solution, err error) (*lp.Solution, error) {
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,94 @@
+package cps
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCampaignWarmStartBitIdentical: a campaign's warm-started waves must be
+// indistinguishable from cold solves — bit-identical LP objective, equal
+// plans, equal answers — while actually reusing or seeding blocks from the
+// previous wave.
+func TestCampaignWarmStartBitIdentical(t *testing.T) {
+	r := testPop(900)
+	m := example6MSSD(8, 8, 8, 8)
+	splits := splitsOf(t, r, 3)
+	camp := NewCampaign(zcluster(3), r.Schema(), splits)
+
+	// Cold control: replicate RunWave's exclusion bookkeeping by hand, with
+	// warm starting never installed.
+	coldSurveyed := make(map[int64]struct{})
+
+	for wave := 0; wave < 3; wave++ {
+		warmRes, err := camp.RunWave(m, Options{Seed: int64(wave) * 101})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exclude := make(map[int64]struct{}, len(coldSurveyed))
+		for id := range coldSurveyed {
+			exclude[id] = struct{}{}
+		}
+		coldRes, err := Run(zcluster(3), m, r.Schema(), splits, Options{
+			Seed: int64(wave) * 101, Exclude: exclude,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range coldRes.Answers.Assignments() {
+			coldSurveyed[id] = struct{}{}
+		}
+
+		if warmRes.LP.Objective != coldRes.LP.Objective {
+			t.Errorf("wave %d: warm objective %x, cold %x", wave, warmRes.LP.Objective, coldRes.LP.Objective)
+		}
+		if warmRes.LP.Vars != coldRes.LP.Vars || warmRes.LP.Constraints != coldRes.LP.Constraints {
+			t.Errorf("wave %d: warm program %d×%d, cold %d×%d", wave,
+				warmRes.LP.Vars, warmRes.LP.Constraints, coldRes.LP.Vars, coldRes.LP.Constraints)
+		}
+		if !reflect.DeepEqual(warmRes.Plan.Assign, coldRes.Plan.Assign) {
+			t.Errorf("wave %d: warm and cold plans differ", wave)
+		}
+		if !reflect.DeepEqual(warmRes.Answers, coldRes.Answers) {
+			t.Errorf("wave %d: warm and cold answers differ", wave)
+		}
+	}
+
+	reused, seeded, cold := camp.warm.Hits()
+	if reused+seeded == 0 {
+		t.Errorf("no blocks warm-started across 3 waves (reused %d, seeded %d, cold %d)", reused, seeded, cold)
+	}
+	t.Logf("warm-start hits: reused %d, seeded %d, cold %d", reused, seeded, cold)
+}
+
+// TestWarmStartExplicitStore: a caller-supplied store is used as-is and
+// reports verbatim reuse when the same solve repeats.
+func TestWarmStartExplicitStore(t *testing.T) {
+	r := testPop(600)
+	m := example6MSSD(5, 5, 5, 5)
+	splits := splitsOf(t, r, 2)
+	warm := NewWarmStart()
+	opts := Options{Seed: 9, Solve: SolveOptions{WarmStart: warm}}
+
+	first, err := Run(zcluster(2), m, r.Schema(), splits, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, coldFirst := warm.Hits()
+	if coldFirst == 0 {
+		t.Fatal("first solve should populate the store with cold blocks")
+	}
+	second, err := Run(zcluster(2), m, r.Schema(), splits, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, _, _ := warm.Hits()
+	if reused == 0 {
+		t.Error("identical rerun reused no blocks verbatim")
+	}
+	if first.LP.Objective != second.LP.Objective {
+		t.Errorf("objective drifted across identical solves: %x vs %x", first.LP.Objective, second.LP.Objective)
+	}
+	if !reflect.DeepEqual(first.Plan.Assign, second.Plan.Assign) {
+		t.Error("plan drifted across identical solves")
+	}
+}

@@ -71,8 +71,9 @@ func TestTupleClone(t *testing.T) {
 
 func TestTupleByteSizeAndString(t *testing.T) {
 	tp := Tuple{ID: 1, Name: "ab", Attrs: []int64{1, 2}}
-	if got := tp.ByteSize(); got != 8+2+16 {
-		t.Fatalf("ByteSize = %d, want 26", got)
+	// varint id (1) + name prefix+bytes (1+2) + attr count (1) + attrs (1+1)
+	if got := tp.ByteSize(); got != 7 {
+		t.Fatalf("ByteSize = %d, want 7", got)
 	}
 	if s := tp.String(); !strings.Contains(s, "#1(ab)[1 2]") {
 		t.Fatalf("String = %q", s)

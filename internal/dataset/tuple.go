@@ -3,6 +3,8 @@ package dataset
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/wire"
 )
 
 // Tuple represents one individual of the surveyed population. ID is a unique
@@ -24,11 +26,46 @@ func (t *Tuple) Clone() Tuple {
 	return Tuple{ID: t.ID, Name: t.Name, Attrs: attrs}
 }
 
-// ByteSize estimates the wire size of the tuple when shuffled between
-// machines: 8 bytes per integer attribute plus the id and the name bytes.
-// The MapReduce engine uses it for shuffle accounting.
+// ByteSize is the exact wire size of the tuple in the binary codec (see
+// AppendWire): varint id, length-prefixed name, attr count, varint attrs.
+// The MapReduce engine uses it for shuffle accounting, so it must track the
+// real encoding — gob-era code guessed 8+len(Name)+8*len(Attrs) and omitted
+// the name length prefix and varint widths.
 func (t Tuple) ByteSize() int {
-	return 8 + len(t.Name) + 8*len(t.Attrs)
+	n := wire.SizeVarint(t.ID) +
+		wire.SizeUvarint(uint64(len(t.Name))) + len(t.Name) +
+		wire.SizeUvarint(uint64(len(t.Attrs)))
+	for _, v := range t.Attrs {
+		n += wire.SizeVarint(v)
+	}
+	return n
+}
+
+// AppendWire appends the tuple's standalone binary encoding: zigzag-varint
+// id, length-prefixed name, attr count, then each attr as a zigzag varint.
+// Batched tuples use the denser TupleBatch layout instead.
+func (t *Tuple) AppendWire(b []byte) []byte {
+	b = wire.AppendVarint(b, t.ID)
+	b = wire.AppendString(b, t.Name)
+	b = wire.AppendUvarint(b, uint64(len(t.Attrs)))
+	for _, v := range t.Attrs {
+		b = wire.AppendVarint(b, v)
+	}
+	return b
+}
+
+// ReadTupleWire decodes one AppendWire-encoded tuple.
+func ReadTupleWire(r *wire.Reader) (Tuple, error) {
+	var t Tuple
+	t.ID = r.Varint()
+	t.Name = r.String()
+	if n := r.Count(1); n > 0 {
+		t.Attrs = make([]int64, n)
+		for i := range t.Attrs {
+			t.Attrs[i] = r.Varint()
+		}
+	}
+	return t, r.Err()
 }
 
 // String renders the tuple for debugging.

@@ -1,0 +1,113 @@
+package lp
+
+import "math"
+
+// SolveFrom solves the problem starting from a previously optimal basis
+// instead of running phase 1. When the basis still identifies a feasible
+// vertex of the (possibly re-parameterised) problem, the solve reduces to
+// phase-2 pivots from that vertex — typically zero or a handful when only the
+// right-hand sides moved, against a full two-phase solve from scratch. The
+// basis must index structural or slack/surplus columns of a problem with the
+// same constraint structure (see Solution.Basis for the column numbering).
+//
+// SolveFrom never fails where Solve would succeed: any basis it cannot use —
+// wrong length, out-of-range or duplicate entries, singular after
+// installation, or infeasible for the new right-hand sides — silently falls
+// back to a cold Solve.
+func SolveFrom(p *Problem, basis []int) (*Solution, error) {
+	t, ok := installBasis(p, basis)
+	if !ok {
+		return Solve(p)
+	}
+	n := p.NumVars()
+	phase2 := make([]float64, t.cols-1)
+	copy(phase2, p.Obj)
+	t.setObjective(phase2)
+	if status := t.iterate(); status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+	x := make([]float64, n)
+	for i, bv := range t.basis {
+		if bv < n {
+			x[bv] = t.a[i][t.cols-1]
+		}
+	}
+	var obj float64
+	for j := 0; j < n; j++ {
+		obj += p.Obj[j] * x[j]
+	}
+	return &Solution{
+		Status:    Optimal,
+		X:         x,
+		Objective: obj,
+		Basis:     append([]int(nil), t.basis...),
+	}, nil
+}
+
+// installBasis builds the phase-2 tableau (structural + slack columns, no
+// artificials) and makes basis[i] basic in row i by Gaussian elimination. It
+// reports false — cold solve required — when the basis is malformed, a pivot
+// element vanishes, or the resulting basic solution violates x ≥ 0.
+func installBasis(p *Problem, basis []int) (*tableau, bool) {
+	n := p.NumVars()
+	m := len(p.Cons)
+	if n == 0 || len(basis) != m {
+		return nil, false
+	}
+	numSlack := 0
+	for _, c := range p.Cons {
+		rel := c.Rel
+		if c.B < 0 {
+			rel = flip(rel)
+		}
+		if rel == LE || rel == GE {
+			numSlack++
+		}
+	}
+	limit := n + numSlack
+	seen := make(map[int]bool, m)
+	for _, bv := range basis {
+		if bv < 0 || bv >= limit || seen[bv] {
+			return nil, false
+		}
+		seen[bv] = true
+	}
+
+	cols := limit + 1
+	t := newTableau(m, cols, n, numSlack)
+	slackIdx := n
+	for i, c := range p.Cons {
+		b := c.B
+		rel := c.Rel
+		sign := 1.0
+		if b < 0 {
+			sign = -1.0
+			b = -b
+			rel = flip(rel)
+		}
+		for j := 0; j < n; j++ {
+			t.a[i][j] = sign * c.Coeffs[j]
+		}
+		t.a[i][cols-1] = b
+		switch rel {
+		case LE:
+			t.a[i][slackIdx] = 1
+			slackIdx++
+		case GE:
+			t.a[i][slackIdx] = -1
+			slackIdx++
+		}
+	}
+	for i, bv := range basis {
+		if math.Abs(t.a[i][bv]) <= eps {
+			return nil, false
+		}
+		t.pivot(i, bv)
+	}
+	for i := range t.a {
+		if t.a[i][cols-1] < -eps {
+			return nil, false
+		}
+	}
+	return t, true
+}

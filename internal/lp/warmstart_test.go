@@ -1,0 +1,115 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// warmProb is a small production-shaped problem: equality rows with 0/1
+// coefficients and a capacity row, the structure of a CPS block.
+func warmProb(f1, f2, limit float64) *Problem {
+	p := NewProblem(3)
+	p.Obj = []float64{1, 2, 3}
+	p.AddConstraint([]float64{1, 0, 1}, EQ, f1)
+	p.AddConstraint([]float64{0, 1, 1}, EQ, f2)
+	p.AddConstraint([]float64{1, 1, 1}, LE, limit)
+	return p
+}
+
+func TestSolveRecordsBasis(t *testing.T) {
+	sol, err := Solve(warmProb(3, 4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if len(sol.Basis) != 3 {
+		t.Fatalf("Basis = %v, want one entry per constraint row", sol.Basis)
+	}
+}
+
+// TestSolveFromMatchesCold: warm-starting from the previous optimum — both on
+// the identical problem and after the right-hand sides moved — reaches the
+// same optimum as a cold solve, bit for bit on this integral data.
+func TestSolveFromMatchesCold(t *testing.T) {
+	first, err := Solve(warmProb(3, 4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rhs := range [][3]float64{{3, 4, 10}, {5, 2, 9}, {1, 1, 2}, {0, 6, 6}} {
+		p := warmProb(rhs[0], rhs[1], rhs[2])
+		cold, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := SolveFrom(p, first.Basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("rhs %v: warm %v, cold %v", rhs, warm.Status, cold.Status)
+		}
+		if warm.Objective != cold.Objective {
+			t.Errorf("rhs %v: warm objective %x, cold %x", rhs, warm.Objective, cold.Objective)
+		}
+	}
+}
+
+// TestSolveFromBadBasis: every malformed basis silently degrades to a cold
+// solve rather than failing.
+func TestSolveFromBadBasis(t *testing.T) {
+	p := warmProb(3, 4, 10)
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, basis := range [][]int{
+		nil,           // wrong length
+		{0, 1},        // wrong length
+		{0, 1, 99},    // out of range
+		{1, 1, 2},     // duplicate
+		{0, 1, -1},    // negative
+		{0, 0 + 1, 3}, // slack of an EQ row does not exist; 3 is x-col limit edge
+	} {
+		sol, err := SolveFrom(p, basis)
+		if err != nil {
+			t.Fatalf("basis %v: %v", basis, err)
+		}
+		if sol.Status != Optimal || sol.Objective != cold.Objective {
+			t.Errorf("basis %v: %v obj %g, want cold optimum %g", basis, sol.Status, sol.Objective, cold.Objective)
+		}
+	}
+}
+
+// TestSolveFromInfeasibleBasis: a basis whose vertex violates x ≥ 0 under new
+// right-hand sides is rejected at install time and the cold path answers.
+func TestSolveFromInfeasibleBasis(t *testing.T) {
+	// min -x s.t. x ≤ 5: optimum x=5 with the structural column basic.
+	p := NewProblem(1)
+	p.Obj = []float64{-1}
+	p.AddConstraint([]float64{1}, LE, 5)
+	sol, err := Solve(p)
+	if err != nil || sol.Status != Optimal || sol.X[0] != 5 {
+		t.Fatalf("cold: %v %+v", err, sol)
+	}
+	// Same structure, negative capacity after flip: the old basis cannot be
+	// feasible, so SolveFrom must fall back and agree with Solve.
+	q := NewProblem(1)
+	q.Obj = []float64{-1}
+	q.AddConstraint([]float64{1}, GE, 7) // old slack basis now infeasible at 0
+	cold, err := Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := SolveFrom(q, []int{1}) // slack basic ⇒ x=0 ⇒ violates ≥ 7
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != cold.Status || warm.Objective != cold.Objective {
+		t.Errorf("warm %+v, cold %+v", warm, cold)
+	}
+	if warm.Status == Optimal && math.Abs(warm.X[0]-7) > 1e-9 {
+		t.Errorf("x = %v, want 7", warm.X)
+	}
+}

@@ -1,10 +1,64 @@
 package mapreduce
 
 import (
+	"fmt"
 	"io"
 	"strconv"
 	"testing"
+
+	"repro/internal/wire"
 )
+
+// The benchmark jobs use (int, int64) pairs and []int splits; registering
+// codecs for them puts the benchmarks on the binary wire path, the way
+// production jobs register theirs next to RegisterJobMaker.
+func init() {
+	RegisterBucketCodec(BucketCodec[int, int64]{
+		AppendPair: func(buf []byte, p Pair[int, int64]) []byte {
+			buf = wire.AppendVarint(buf, int64(p.Key))
+			return wire.AppendVarint(buf, p.Value)
+		},
+		ReadPair: func(r *wire.Reader) (Pair[int, int64], error) {
+			k := r.Varint()
+			v := r.Varint()
+			return Pair[int, int64]{Key: int(k), Value: v}, r.Err()
+		},
+	})
+	RegisterSliceCodec(SliceCodec[int]{
+		Append: func(buf []byte, v []int) []byte {
+			buf = wire.AppendUvarint(buf, uint64(len(v)))
+			for _, x := range v {
+				buf = wire.AppendVarint(buf, int64(x))
+			}
+			return buf
+		},
+		Read: func(r *wire.Reader) ([]int, error) {
+			n := r.Count(1)
+			out := make([]int, n)
+			for i := range out {
+				out[i] = int(r.Varint())
+			}
+			return out, r.Err()
+		},
+	})
+	RegisterSliceCodec(SliceCodec[int64]{
+		Append: func(buf []byte, v []int64) []byte {
+			buf = wire.AppendUvarint(buf, uint64(len(v)))
+			for _, x := range v {
+				buf = wire.AppendVarint(buf, x)
+			}
+			return buf
+		},
+		Read: func(r *wire.Reader) ([]int64, error) {
+			n := r.Count(1)
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = r.Varint()
+			}
+			return out, r.Err()
+		},
+	})
+}
 
 // shuffleHeavyJob emits every record unchanged under a wide key space with
 // no combiner, so nearly all engine time is spent moving, grouping and
@@ -22,20 +76,21 @@ func shuffleHeavyJob() *Job[int, int, int64, int64] {
 	}
 }
 
-func benchShuffle(b *testing.B, mk func() (Transport, error), tr Tracer) {
+func benchShuffle(b *testing.B, mk func() (Transport, error), tr Tracer, rows int) {
 	splits := make([][]int, 16)
 	for s := range splits {
-		rows := make([]int, 4000)
-		for i := range rows {
-			rows[i] = s*4000 + i
+		split := make([]int, rows)
+		for i := range split {
+			split[i] = s*rows + i
 		}
-		splits[s] = rows
+		splits[s] = split
 	}
 	cluster := &Cluster{Slaves: 4, SlotsPerSlave: 2, Cost: ZeroCostModel(), Tracer: tr}
 	if mk != nil {
 		cluster.NewTransport = mk
 	}
 	job := shuffleHeavyJob()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		job.Seed = int64(i)
@@ -43,7 +98,7 @@ func benchShuffle(b *testing.B, mk func() (Transport, error), tr Tracer) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if res.Metrics.ShuffleRecords != 64000 {
+		if res.Metrics.ShuffleRecords != int64(16*rows) {
 			b.Fatal("wrong shuffle record count")
 		}
 	}
@@ -51,18 +106,31 @@ func benchShuffle(b *testing.B, mk func() (Transport, error), tr Tracer) {
 
 // BenchmarkShuffle measures the in-memory shuffle: per-reducer grouping and
 // approximate byte accounting over 16 tasks × 4000 records × 997 keys.
-func BenchmarkShuffle(b *testing.B) { benchShuffle(b, nil, nil) }
+func BenchmarkShuffle(b *testing.B) { benchShuffle(b, nil, nil, 4000) }
 
 // BenchmarkShuffleTraced is BenchmarkShuffle with a JSON-lines tracer
 // enabled, bounding the span-assembly overhead on a shuffle-heavy job.
 func BenchmarkShuffleTraced(b *testing.B) {
-	benchShuffle(b, nil, NewJSONLTracer(io.Discard))
+	benchShuffle(b, nil, NewJSONLTracer(io.Discard), 4000)
 }
 
-// BenchmarkShuffleTransport measures the serialized shuffle path: gob
-// encode, Send/Receive through an in-process transport, decode, group.
+// BenchmarkShuffleTransport measures the serialized shuffle path: encode,
+// Send/Receive through an in-process transport, decode, group — on the
+// binary wire codec by default, on gob under STRATA_WIRE=gob.
 func BenchmarkShuffleTransport(b *testing.B) {
-	benchShuffle(b, func() (Transport, error) { return NewMemTransport(), nil }, nil)
+	benchShuffle(b, func() (Transport, error) { return NewMemTransport(), nil }, nil, 4000)
+}
+
+// BenchmarkShuffleVolume scales the serialized shuffle's record volume to
+// show how codec allocations grow with bytes moved — the allocs/op column is
+// the budget the wire codec is held to (flat per record vs gob's per-value
+// decoding; A/B with STRATA_WIRE=gob).
+func BenchmarkShuffleVolume(b *testing.B) {
+	for _, rows := range []int{4000, 16000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			benchShuffle(b, func() (Transport, error) { return NewMemTransport(), nil }, nil, rows)
+		})
+	}
 }
 
 // BenchmarkEngine runs a counting job over synthetic splits, measuring
@@ -107,6 +175,7 @@ func benchEngine(b *testing.B, tr Tracer) {
 		KeyString: func(k int) string { return strconv.Itoa(k) },
 	}
 	cluster := &Cluster{Slaves: 4, SlotsPerSlave: 2, Cost: ZeroCostModel(), Tracer: tr}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		job.Seed = int64(i)

@@ -77,7 +77,7 @@ func runRemote[I any, K comparable, V any, O any](
 		if tr != nil {
 			st.startOff = elapsed()
 		}
-		splitPayload, err := gobEncode(splits[task])
+		splitPayload, err := encodeSlice(splits[task])
 		if err != nil {
 			taskErrs[task] = fmt.Errorf("encoding split of map task %d: %w", task, err)
 			return
@@ -242,7 +242,7 @@ func runRemote[I any, K comparable, V any, O any](
 		if b, ok := replayed[t]; ok {
 			return b, nil
 		}
-		splitPayload, err := gobEncode(splits[t])
+		splitPayload, err := encodeSlice(splits[t])
 		if err != nil {
 			return nil, err
 		}

@@ -8,13 +8,14 @@ import (
 // TaskSpec is one task attempt in backend-portable form: everything a worker
 // process needs to reconstruct the job (Maker + Config), seed its RNGs
 // identically to an in-process run (Seed, Task, Phase), and the input bytes.
-// Payloads are the engine's existing shuffle encoding (gob), so the wire
-// format is shared with the Transport path.
+// Payloads carry a one-byte format tag (binary codec or gob fallback, see
+// wire.go), so the wire format is shared with the Transport path and mixed
+// pools interoperate per payload.
 type TaskSpec struct {
 	// Job is the job name, used in task contexts and error messages.
 	Job string
 	// Maker names the job factory registered with RegisterJobMaker; Config
-	// is its gob-encoded argument. Together they make the job portable: a
+	// is its serialized argument. Together they make the job portable: a
 	// worker that links the same registrations rebuilds mapper, combiner,
 	// reducer, partitioner and key renderer from them.
 	Maker  string
@@ -28,13 +29,13 @@ type TaskSpec struct {
 	Seed int64
 	// NumReducers is the job's reducer count (map tasks partition by it).
 	NumReducers int
-	// Split is the gob-encoded input split of a map task.
+	// Split is the encoded input split of a map task (encodeSlice format).
 	Split []byte
 	// Buckets are the reduce task's shuffle payloads in map-task order. On
 	// the direct-shuffle path an empty entry is a hole: the payload was (or
 	// will be) delivered worker-to-worker and the reduce attempt receives it
 	// from its peer instead of from this spec. A bucket payload is never
-	// empty (encodeBucket of zero pairs still carries the gob type header),
+	// empty (encodeBucket of zero pairs still carries its format tag byte),
 	// so emptiness is an unambiguous hole marker.
 	Buckets [][]byte
 	// NumMapTasks is the job's map-task count; reduce attempts on the direct
@@ -105,7 +106,8 @@ type TaskResult struct {
 	// backend-independent approximate sizes so metrics stay byte-identical
 	// across backends.
 	DirectBytes int64
-	// Output is a reduce attempt's gob-encoded output record slice.
+	// Output is a reduce attempt's encoded output record slice
+	// (encodeSlice format).
 	Output []byte
 	// Counters are the attempt's measured counters.
 	Counters TaskCounters

@@ -117,8 +117,8 @@ func taskClock(spec *TaskSpec) func() time.Duration {
 }
 
 func (jr *jobRunner[I, K, V, O]) runMap(spec *TaskSpec) (*TaskResult, error) {
-	var split []I
-	if err := gobDecode(spec.Split, &split); err != nil {
+	split, err := decodeSlice[I](spec.Split)
+	if err != nil {
 		return nil, fmt.Errorf("mapreduce: decoding split of map task %d: %w", spec.Task, err)
 	}
 	run := execMapTask(jr.job, spec.Seed, split, spec.Task, spec.NumReducers, taskClock(spec))
@@ -159,7 +159,7 @@ func (jr *jobRunner[I, K, V, O]) runReduce(spec *TaskSpec) (*TaskResult, error) 
 	groups := groupPairs(parts)
 	names := groups.sortByName(jr.job.keyString)
 	run := execReduceTask(jr.job, spec.Seed, groups, names, spec.Task, spec.CollectKeys)
-	payload, err := gobEncode(run.out)
+	payload, err := encodeSlice(run.out)
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: encoding reduce %d output: %w", spec.Task, err)
 	}
@@ -179,8 +179,8 @@ func (jr *jobRunner[I, K, V, O]) runReduce(spec *TaskSpec) (*TaskResult, error) 
 // records. The coordinator-side engine uses it; it is exported for tests and
 // tools that inspect raw results.
 func DecodeTaskOutput[O any](payload []byte) ([]O, error) {
-	var out []O
-	if err := gobDecode(payload, &out); err != nil {
+	out, err := decodeSlice[O](payload)
+	if err != nil {
 		return nil, fmt.Errorf("mapreduce: decoding reduce output: %w", err)
 	}
 	return out, nil

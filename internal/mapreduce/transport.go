@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // Transport moves serialized shuffle buckets from map tasks to reducers. The
@@ -291,20 +293,65 @@ func (t *TCPTransport) Close() error {
 	return err
 }
 
-// encodeBucket gob-encodes one map task's pairs for the wire.
+// encodeBucket serializes one map task's pairs for the wire: one payload
+// tag byte, then either the registered binary pair codec or gob. The tag
+// makes every bucket self-describing, which direct shuffle needs — the
+// sending worker cannot know the consuming worker's negotiated format. A
+// bucket payload is therefore never empty (the tag byte is always present),
+// which the engine relies on as its hole marker.
 func encodeBucket[K comparable, V any](pairs []Pair[K, V]) ([]byte, error) {
+	if c, ok := lookupBucketCodec[K, V](); ok && !gobPayloads.Load() {
+		buf := make([]byte, 1, 64)
+		buf[0] = payloadBinary
+		buf = wire.AppendUvarint(buf, uint64(len(pairs)))
+		for _, p := range pairs {
+			buf = c.AppendPair(buf, p)
+		}
+		return buf, nil
+	}
 	var buf bytes.Buffer
+	buf.WriteByte(payloadGob)
 	if err := gob.NewEncoder(&buf).Encode(pairs); err != nil {
 		return nil, fmt.Errorf("mapreduce: encoding shuffle bucket: %w", err)
 	}
 	return buf.Bytes(), nil
 }
 
-// decodeBucket reverses encodeBucket.
+// decodeBucket reverses encodeBucket, dispatching on the payload tag.
 func decodeBucket[K comparable, V any](payload []byte) ([]Pair[K, V], error) {
-	var pairs []Pair[K, V]
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&pairs); err != nil {
-		return nil, fmt.Errorf("mapreduce: decoding shuffle bucket: %w", err)
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("mapreduce: empty shuffle bucket: %w", wire.ErrTruncated)
 	}
-	return pairs, nil
+	switch payload[0] {
+	case payloadGob:
+		var pairs []Pair[K, V]
+		if err := gob.NewDecoder(bytes.NewReader(payload[1:])).Decode(&pairs); err != nil {
+			return nil, fmt.Errorf("mapreduce: decoding shuffle bucket: %w", err)
+		}
+		return pairs, nil
+	case payloadBinary:
+		c, ok := lookupBucketCodec[K, V]()
+		if !ok {
+			return nil, fmt.Errorf("mapreduce: binary shuffle bucket for unregistered pair type %T", (Pair[K, V]{}))
+		}
+		r := wire.NewReader(payload[1:])
+		n := r.Count(1)
+		var pairs []Pair[K, V]
+		if n > 0 {
+			pairs = make([]Pair[K, V], 0, n)
+		}
+		for i := 0; i < n; i++ {
+			p, err := c.ReadPair(r)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce: decoding shuffle bucket: %w", err)
+			}
+			pairs = append(pairs, p)
+		}
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("mapreduce: decoding shuffle bucket: %w", err)
+		}
+		return pairs, nil
+	default:
+		return nil, fmt.Errorf("mapreduce: shuffle bucket with unknown payload tag %#x: %w", payload[0], wire.ErrCorrupt)
+	}
 }

@@ -1,0 +1,387 @@
+package mapreduce
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// This file is the engine's side of the binary wire codec (PR 6): payload
+// encodings for task splits, shuffle buckets and reduce outputs, plus the
+// TaskSpec/TaskResult frame bodies the worker protocol embeds. gob remains
+// as a tagged fallback — for types without a registered codec, and for the
+// `-wire gob` escape hatch — so every payload stays decodable by every peer
+// regardless of which side negotiated what.
+
+// gobPayloads forces the gob fallback for every payload this process
+// encodes, and keeps frame connections in gob mode. It is the `-wire gob`
+// escape hatch (STRATA_WIRE=gob), for debugging codec suspicions in the
+// field and for A/B benchmarking the two formats on one binary.
+var gobPayloads atomic.Bool
+
+func init() {
+	if os.Getenv("STRATA_WIRE") == "gob" {
+		gobPayloads.Store(true)
+	}
+}
+
+// SetWireGob toggles the gob escape hatch at runtime (the CLI's -wire flag).
+func SetWireGob(v bool) { gobPayloads.Store(v) }
+
+// WireGob reports whether payloads are forced to gob.
+func WireGob() bool { return gobPayloads.Load() }
+
+// Every payload (split, bucket, output) starts with one tag byte, making it
+// self-describing: direct shuffle ships buckets worker-to-worker, where the
+// sender cannot know whether the consumer negotiated the binary format.
+const (
+	payloadGob    = 0x00
+	payloadBinary = 0x01
+)
+
+// --- codec registries -------------------------------------------------------
+
+// BucketCodec encodes/decodes one shuffle pair of a concrete (K, V)
+// instantiation. AppendPair appends one pair's binary form; ReadPair
+// reverses it. Registered codecs put their pair type on the binary fast
+// path; unregistered pair types ride the gob fallback unchanged.
+type BucketCodec[K comparable, V any] struct {
+	AppendPair func(buf []byte, p Pair[K, V]) []byte
+	ReadPair   func(r *wire.Reader) (Pair[K, V], error)
+}
+
+// SliceCodec encodes/decodes a whole []T payload (map splits, reduce
+// outputs). Operating on the slice rather than per element lets a codec
+// pick a columnar layout (dataset.TupleBatch).
+type SliceCodec[T any] struct {
+	Append func(buf []byte, v []T) []byte
+	Read   func(r *wire.Reader) ([]T, error)
+}
+
+// codecs maps reflect.Type of *[]Pair[K,V] (buckets) or *[]T (slices) to
+// the registered codec. sync.Map: written during init, read on the hot path.
+var codecs sync.Map
+
+// RegisterBucketCodec installs the binary codec for one pair type. Call it
+// from an init function alongside RegisterJobMaker, so coordinator and
+// worker binaries agree on the format.
+func RegisterBucketCodec[K comparable, V any](c BucketCodec[K, V]) {
+	codecs.Store(reflect.TypeOf((*[]Pair[K, V])(nil)), c)
+}
+
+// RegisterSliceCodec installs the binary codec for []T payloads.
+func RegisterSliceCodec[T any](c SliceCodec[T]) {
+	codecs.Store(reflect.TypeOf((*[]T)(nil)), c)
+}
+
+func lookupBucketCodec[K comparable, V any]() (BucketCodec[K, V], bool) {
+	v, ok := codecs.Load(reflect.TypeOf((*[]Pair[K, V])(nil)))
+	if !ok {
+		return BucketCodec[K, V]{}, false
+	}
+	return v.(BucketCodec[K, V]), true
+}
+
+func lookupSliceCodec[T any]() (SliceCodec[T], bool) {
+	v, ok := codecs.Load(reflect.TypeOf((*[]T)(nil)))
+	if !ok {
+		return SliceCodec[T]{}, false
+	}
+	return v.(SliceCodec[T]), true
+}
+
+// --- tagged slice payloads (splits, reduce outputs) -------------------------
+
+// encodeSlice serializes a []T payload: binary when a codec is registered
+// and the escape hatch is off, tagged gob otherwise.
+func encodeSlice[T any](v []T) ([]byte, error) {
+	if c, ok := lookupSliceCodec[T](); ok && !gobPayloads.Load() {
+		buf := make([]byte, 1, 64)
+		buf[0] = payloadBinary
+		return c.Append(buf, v), nil
+	}
+	raw, err := gobEncode(v)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{payloadGob}, raw...), nil
+}
+
+// decodeSlice reverses encodeSlice, dispatching on the tag byte — the
+// decoder side never guesses, so mixed pools interoperate per payload.
+func decodeSlice[T any](payload []byte) ([]T, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("mapreduce: empty slice payload: %w", wire.ErrTruncated)
+	}
+	switch payload[0] {
+	case payloadGob:
+		var v []T
+		if err := gobDecode(payload[1:], &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case payloadBinary:
+		c, ok := lookupSliceCodec[T]()
+		if !ok {
+			return nil, fmt.Errorf("mapreduce: binary slice payload for unregistered type %T", ([]T)(nil))
+		}
+		r := wire.NewReader(payload[1:])
+		v, err := c.Read(r)
+		if err != nil {
+			return nil, err
+		}
+		return v, r.Done()
+	default:
+		return nil, fmt.Errorf("mapreduce: unknown payload tag %#x: %w", payload[0], wire.ErrCorrupt)
+	}
+}
+
+// --- histograms -------------------------------------------------------------
+
+// appendHistogram encodes a histogram sparsely: summary varints, then only
+// the non-zero buckets as (index, count) pairs — task histograms touch a
+// handful of the 65 buckets.
+func appendHistogram(buf []byte, h *Histogram) []byte {
+	buf = wire.AppendVarint(buf, h.count)
+	buf = wire.AppendVarint(buf, h.sum)
+	buf = wire.AppendVarint(buf, h.min)
+	buf = wire.AppendVarint(buf, h.max)
+	nz := 0
+	for _, c := range h.buckets {
+		if c != 0 {
+			nz++
+		}
+	}
+	buf = wire.AppendUvarint(buf, uint64(nz))
+	for i, c := range h.buckets {
+		if c != 0 {
+			buf = append(buf, byte(i))
+			buf = wire.AppendVarint(buf, c)
+		}
+	}
+	return buf
+}
+
+func readHistogram(r *wire.Reader) (*Histogram, error) {
+	h := &Histogram{}
+	h.count = r.Varint()
+	h.sum = r.Varint()
+	h.min = r.Varint()
+	h.max = r.Varint()
+	nz := r.Count(2)
+	for i := 0; i < nz; i++ {
+		idx := r.Byte()
+		c := r.Varint()
+		if r.Err() == nil && int(idx) >= histogramBuckets {
+			return nil, fmt.Errorf("mapreduce: histogram bucket index %d: %w", idx, wire.ErrCorrupt)
+		}
+		if r.Err() == nil {
+			h.buckets[idx] = c
+		}
+	}
+	return h, r.Err()
+}
+
+// --- TaskSpec ---------------------------------------------------------------
+
+// Spec/result flag bits.
+const (
+	specHasShuffle  = 1 << 0
+	specCollectKeys = 1 << 1
+	specFrozen      = 1 << 2
+)
+
+// AppendTaskSpec appends the spec's binary frame body. The layout mirrors
+// the struct field order; Config/Split/Buckets are embedded verbatim (they
+// carry their own payload tags).
+func AppendTaskSpec(buf []byte, s *TaskSpec) []byte {
+	buf = wire.AppendString(buf, s.Job)
+	buf = wire.AppendString(buf, s.Maker)
+	buf = wire.AppendBytes(buf, s.Config)
+	buf = wire.AppendString(buf, s.Phase)
+	buf = wire.AppendUvarint(buf, uint64(s.Task))
+	buf = wire.AppendVarint(buf, s.Seed)
+	buf = wire.AppendUvarint(buf, uint64(s.NumReducers))
+	buf = wire.AppendBytes(buf, s.Split)
+	buf = wire.AppendUvarint(buf, uint64(len(s.Buckets)))
+	for _, b := range s.Buckets {
+		buf = wire.AppendBytes(buf, b)
+	}
+	buf = wire.AppendUvarint(buf, uint64(s.NumMapTasks))
+	var flags byte
+	if s.Shuffle != nil {
+		flags |= specHasShuffle
+	}
+	if s.CollectKeys {
+		flags |= specCollectKeys
+	}
+	if s.Frozen {
+		flags |= specFrozen
+	}
+	buf = append(buf, flags)
+	if s.Shuffle != nil {
+		buf = wire.AppendString(buf, s.Shuffle.Session)
+		buf = wire.AppendUvarint(buf, uint64(len(s.Shuffle.Workers)))
+		for _, w := range s.Shuffle.Workers {
+			buf = wire.AppendString(buf, w)
+		}
+		buf = wire.AppendUvarint(buf, uint64(len(s.Shuffle.Endpoints)))
+		for _, e := range s.Shuffle.Endpoints {
+			buf = wire.AppendString(buf, e)
+		}
+		buf = wire.AppendVarint(buf, s.Shuffle.TimeoutMs)
+	}
+	return buf
+}
+
+// ReadTaskSpec decodes one AppendTaskSpec body. Byte-slice fields are views
+// into the reader's buffer: the frame buffer must outlive the spec, which
+// the worker runtime guarantees by never recycling read-path buffers.
+func ReadTaskSpec(r *wire.Reader) (*TaskSpec, error) {
+	s := &TaskSpec{}
+	s.Job = r.String()
+	s.Maker = r.String()
+	s.Config = r.Bytes()
+	s.Phase = r.String()
+	s.Task = int(r.Uvarint())
+	s.Seed = r.Varint()
+	s.NumReducers = int(r.Uvarint())
+	s.Split = r.Bytes()
+	if n := r.Count(1); n > 0 {
+		s.Buckets = make([][]byte, n)
+		for i := range s.Buckets {
+			s.Buckets[i] = r.Bytes()
+		}
+	}
+	s.NumMapTasks = int(r.Uvarint())
+	flags := r.Byte()
+	s.CollectKeys = flags&specCollectKeys != 0
+	s.Frozen = flags&specFrozen != 0
+	if flags&specHasShuffle != 0 {
+		p := &ShufflePlan{}
+		p.Session = r.String()
+		if n := r.Count(1); n > 0 {
+			p.Workers = make([]string, n)
+			for i := range p.Workers {
+				p.Workers[i] = r.String()
+			}
+		}
+		if n := r.Count(1); n > 0 {
+			p.Endpoints = make([]string, n)
+			for i := range p.Endpoints {
+				p.Endpoints[i] = r.String()
+			}
+		}
+		p.TimeoutMs = r.Varint()
+		s.Shuffle = p
+	}
+	return s, r.Err()
+}
+
+// --- TaskResult -------------------------------------------------------------
+
+// AppendTaskResult appends the result's binary frame body. Map-valued
+// fields (Custom, PerKey) are sorted by key so the encoding is
+// deterministic — frames are comparable in tests and re-sends are
+// byte-identical.
+func AppendTaskResult(buf []byte, t *TaskResult) []byte {
+	buf = wire.AppendUvarint(buf, uint64(len(t.Buckets)))
+	for _, b := range t.Buckets {
+		buf = wire.AppendBytes(buf, b)
+	}
+	buf = wire.AppendVarint(buf, t.DirectBytes)
+	buf = wire.AppendBytes(buf, t.Output)
+	c := &t.Counters
+	buf = wire.AppendVarint(buf, c.In)
+	buf = wire.AppendVarint(buf, c.Out)
+	buf = wire.AppendVarint(buf, c.CombineIn)
+	buf = wire.AppendVarint(buf, c.CombineOut)
+	buf = wire.AppendVarint(buf, c.Groups)
+	buf = wire.AppendUvarint(buf, uint64(len(c.BucketSizes)))
+	for _, v := range c.BucketSizes {
+		buf = wire.AppendVarint(buf, v)
+	}
+	buf = wire.AppendVarint(buf, int64(c.MapWall))
+	buf = wire.AppendVarint(buf, int64(c.CombineWall))
+	buf = wire.AppendVarint(buf, int64(c.RecvWall))
+	buf = wire.AppendUvarint(buf, uint64(len(t.Custom)))
+	for _, name := range sortedKeys(t.Custom) {
+		buf = wire.AppendString(buf, name)
+		buf = appendHistogram(buf, t.Custom[name])
+	}
+	buf = wire.AppendUvarint(buf, uint64(len(t.PerKey)))
+	for _, key := range sortedKeys(t.PerKey) {
+		ks := t.PerKey[key]
+		buf = wire.AppendString(buf, key)
+		buf = wire.AppendVarint(buf, ks.Records)
+		buf = wire.AppendVarint(buf, ks.Output)
+	}
+	buf = wire.AppendString(buf, t.Worker)
+	buf = wire.AppendUvarint(buf, uint64(len(t.FailedAttempts)))
+	for _, a := range t.FailedAttempts {
+		buf = wire.AppendString(buf, a.Worker)
+		buf = wire.AppendString(buf, a.Err)
+	}
+	return buf
+}
+
+// ReadTaskResult decodes one AppendTaskResult body. As with ReadTaskSpec,
+// byte-slice fields alias the reader's buffer.
+func ReadTaskResult(r *wire.Reader) (*TaskResult, error) {
+	t := &TaskResult{}
+	if n := r.Count(1); n > 0 {
+		t.Buckets = make([][]byte, n)
+		for i := range t.Buckets {
+			t.Buckets[i] = r.Bytes()
+		}
+	}
+	t.DirectBytes = r.Varint()
+	t.Output = r.Bytes()
+	c := &t.Counters
+	c.In = r.Varint()
+	c.Out = r.Varint()
+	c.CombineIn = r.Varint()
+	c.CombineOut = r.Varint()
+	c.Groups = r.Varint()
+	if n := r.Count(1); n > 0 {
+		c.BucketSizes = make([]int64, n)
+		for i := range c.BucketSizes {
+			c.BucketSizes[i] = r.Varint()
+		}
+	}
+	c.MapWall = time.Duration(r.Varint())
+	c.CombineWall = time.Duration(r.Varint())
+	c.RecvWall = time.Duration(r.Varint())
+	if n := r.Count(5); n > 0 {
+		t.Custom = make(map[string]*Histogram, n)
+		for i := 0; i < n; i++ {
+			name := r.String()
+			h, err := readHistogram(r)
+			if err != nil {
+				return nil, err
+			}
+			t.Custom[name] = h
+		}
+	}
+	if n := r.Count(3); n > 0 {
+		t.PerKey = make(map[string]KeyStats, n)
+		for i := 0; i < n; i++ {
+			key := r.String()
+			t.PerKey[key] = KeyStats{Records: r.Varint(), Output: r.Varint()}
+		}
+	}
+	t.Worker = r.String()
+	if n := r.Count(2); n > 0 {
+		t.FailedAttempts = make([]TaskAttempt, n)
+		for i := range t.FailedAttempts {
+			t.FailedAttempts[i].Worker = r.String()
+			t.FailedAttempts[i].Err = r.String()
+		}
+	}
+	return t, r.Err()
+}

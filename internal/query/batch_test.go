@@ -1,0 +1,106 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/predicate"
+)
+
+// TestBatchClassifierAgreesWithMatchStratum: for every in-domain tuple, the
+// interval-box classifier and the closure-tree predicates assign the same
+// stratum — across conditions exercising every operator, negation,
+// disjunction, unsatisfiable strata, and literal-true coverage.
+func TestBatchClassifierAgreesWithMatchStratum(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.Field{Name: "gender", Min: 0, Max: 1},
+		dataset.Field{Name: "age", Min: 0, Max: 120},
+		dataset.Field{Name: "income", Min: -500, Max: 10000},
+	)
+	queries := []*SSD{
+		NewSSD("ops",
+			Stratum{Cond: predicate.MustParse("gender = 0 and age < 30"), Freq: 1},
+			Stratum{Cond: predicate.MustParse("gender = 0 and age >= 30"), Freq: 1},
+			Stratum{Cond: predicate.MustParse("gender = 1 and income != 0"), Freq: 1},
+		),
+		NewSSD("negation",
+			Stratum{Cond: predicate.MustParse("not (age <= 40 or income > 5000)"), Freq: 1},
+		),
+		NewSSD("unsat-then-match",
+			Stratum{Cond: predicate.MustParse("age > 120"), Freq: 1}, // empty over the domain
+			Stratum{Cond: predicate.MustParse("income >= -500"), Freq: 1},
+		),
+		NewSSD("bounds",
+			Stratum{Cond: predicate.MustParse("age >= 0 and age <= 120 and gender <= 0"), Freq: 1},
+			Stratum{Cond: predicate.MustParse("income = -500 or income = 10000"), Freq: 1},
+		),
+	}
+	rng := rand.New(rand.NewSource(7))
+	tuples := make([]dataset.Tuple, 0, 500)
+	for i := 0; i < 500; i++ {
+		attrs := make([]int64, schema.NumFields())
+		for a := 0; a < schema.NumFields(); a++ {
+			f := schema.Field(a)
+			attrs[a] = f.Min + rng.Int63n(f.Width())
+		}
+		tuples = append(tuples, dataset.Tuple{ID: int64(i), Attrs: attrs})
+	}
+	// Domain corners matter most for the clipping semantics.
+	for _, g := range []int64{0, 1} {
+		for _, age := range []int64{0, 120} {
+			for _, inc := range []int64{-500, 0, 10000} {
+				tuples = append(tuples, dataset.Tuple{Attrs: []int64{g, age, inc}})
+			}
+		}
+	}
+
+	for _, q := range queries {
+		preds, err := q.Compile(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cls, err := NewBatchClassifier(q, schema)
+		if err != nil {
+			t.Fatalf("query %s: %v", q.Name, err)
+		}
+		got := cls.ClassifyTuples(tuples, nil)
+		for i := range tuples {
+			want := MatchStratum(preds, &tuples[i])
+			if got[i] != want {
+				t.Errorf("query %s tuple %v: classifier says %d, MatchStratum says %d",
+					q.Name, tuples[i].Attrs, got[i], want)
+			}
+		}
+
+		// The columnar path must agree with the per-tuple path.
+		batch, ok := dataset.BatchOfTuples(tuples)
+		if !ok {
+			t.Fatal("uniform tuples did not batch")
+		}
+		viaBatch := cls.Classify(&batch, nil)
+		for i := range got {
+			if viaBatch[i] != got[i] {
+				t.Errorf("query %s row %d: batch path %d, tuple path %d", q.Name, i, viaBatch[i], got[i])
+			}
+		}
+	}
+}
+
+func TestBatchClassifierReusesOut(t *testing.T) {
+	schema := dataset.MustSchema(dataset.Field{Name: "x", Min: 0, Max: 9})
+	q := NewSSD("r", Stratum{Cond: predicate.MustParse("x < 5"), Freq: 1})
+	cls, err := NewBatchClassifier(q, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []dataset.Tuple{{Attrs: []int64{1}}, {Attrs: []int64{7}}}
+	out := cls.ClassifyTuples(ts, nil)
+	again := cls.ClassifyTuples(ts[:1], out)
+	if &again[0] != &out[0] {
+		t.Error("classifier reallocated a sufficient out slice")
+	}
+	if again[0] != 0 {
+		t.Errorf("classify = %d, want 0", again[0])
+	}
+}

@@ -4,9 +4,50 @@ import (
 	"math/rand"
 
 	"repro/internal/dataset"
+	"repro/internal/predicate"
 	"repro/internal/query"
 	"repro/internal/sampling"
 )
+
+// splitClassifier assigns every tuple of a split to its stratum in one call.
+// It prefers the interval-box BatchClassifier (no closure tree per tuple) and
+// keeps compiled predicates as the fallback for conditions Boxes cannot lower
+// (DNF blow-up past predicate.MaxBoxes). The out slice is reused across
+// splits, so steady-state classification allocates nothing.
+type splitClassifier struct {
+	cls   *query.BatchClassifier
+	preds []predicate.Pred
+	out   []int
+}
+
+func newSplitClassifier(q *query.SSD, schema *dataset.Schema) (*splitClassifier, error) {
+	preds, err := q.Compile(schema)
+	if err != nil {
+		return nil, err
+	}
+	sc := &splitClassifier{preds: preds}
+	if cls, err := query.NewBatchClassifier(q, schema); err == nil {
+		sc.cls = cls
+	}
+	return sc, nil
+}
+
+// classify returns one stratum index (or -1) per tuple of the split. The
+// returned slice is owned by the classifier and valid until the next call.
+func (sc *splitClassifier) classify(split dataset.Split) []int {
+	if sc.cls != nil {
+		sc.out = sc.cls.ClassifyTuples(split, sc.out)
+		return sc.out
+	}
+	if cap(sc.out) < len(split) {
+		sc.out = make([]int, len(split))
+	}
+	sc.out = sc.out[:len(split)]
+	for i := range split {
+		sc.out[i] = query.MatchStratum(sc.preds, &split[i])
+	}
+	return sc.out
+}
 
 // RunSplitLocal is the Grover & Carey (ICDE 2012) style baseline the paper
 // discusses in Section 2: predicate-based sampling that reads *splits* one
@@ -21,7 +62,7 @@ import (
 // in them. SplitLocalBias in the test suite quantifies this. The returned
 // SplitsRead reports how much of the data the early termination saved.
 func RunSplitLocal(q *query.SSD, schema *dataset.Schema, splits []dataset.Split, seed int64) (ans *query.Answer, splitsRead int, err error) {
-	preds, err := q.Compile(schema)
+	sc, err := newSplitClassifier(q, schema)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -46,8 +87,8 @@ func RunSplitLocal(q *query.SSD, schema *dataset.Schema, splits []dataset.Split,
 		for k := range matched {
 			matched[k] = matched[k][:0]
 		}
-		for i := range split {
-			if k := query.MatchStratum(preds, &split[i]); k >= 0 {
+		for i, k := range sc.classify(split) {
+			if k >= 0 {
 				matched[k] = append(matched[k], split[i])
 			}
 		}
@@ -73,15 +114,15 @@ func RunSplitLocal(q *query.SSD, schema *dataset.Schema, splits []dataset.Split,
 // 2 = selected twice as often as it should be). It is the quantitative form
 // of the paper's argument against assuming randomly distributed splits.
 func SplitLocalBias(q *query.SSD, schema *dataset.Schema, splits []dataset.Split, runs int) (worst float64, err error) {
-	preds, err := q.Compile(schema)
+	sc, err := newSplitClassifier(q, schema)
 	if err != nil {
 		return 0, err
 	}
 	counts := make(map[int64]int)
 	perStratumPop := make([]int, len(q.Strata))
 	for _, split := range splits {
-		for i := range split {
-			if k := query.MatchStratum(preds, &split[i]); k >= 0 {
+		for _, k := range sc.classify(split) {
+			if k >= 0 {
 				perStratumPop[k]++
 			}
 		}
@@ -99,8 +140,7 @@ func SplitLocalBias(q *query.SSD, schema *dataset.Schema, splits []dataset.Split
 	}
 	worst = 1
 	for _, split := range splits {
-		for i := range split {
-			k := query.MatchStratum(preds, &split[i])
+		for i, k := range sc.classify(split) {
 			if k < 0 || perStratumPop[k] == 0 {
 				continue
 			}

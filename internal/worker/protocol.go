@@ -7,14 +7,27 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mapreduce"
+	"repro/internal/wire"
 )
 
-// The wire protocol: length-prefixed gob frames, each a single envelope.
-// A fresh gob encoder per frame keeps frames self-contained (no stream
-// state), so a coordinator can safely resynchronize after dropping a worker
-// mid-frame and the same framing serves pipes and sockets alike.
+// The wire protocol: length-prefixed frames, each a single envelope. Two
+// frame encodings share the stream, discriminated by the top bit of the
+// length word (safe: maxFrameSize is 1<<30, so real lengths never set it):
+//
+//   - gob frames (bit clear) — the v0 format, one fresh gob encoder per
+//     frame. Hello frames always use it, carrying the worker's announced
+//     WireVersion; it remains the fallback for old peers and `-wire gob`.
+//   - binary frames (bit set) — the hand-rolled codec (wire.go), used once
+//     the coordinator has seen a hello with WireVersion ≥ 1. The worker
+//     flips to binary sends upon receiving its first binary frame, so
+//     negotiation costs no extra round trip.
+//
+// Both framings are self-contained per frame, so a coordinator can safely
+// resynchronize after dropping a worker mid-frame and the same framing
+// serves pipes and sockets alike.
 
 // msgKind discriminates envelope frames.
 type msgKind uint8
@@ -36,6 +49,11 @@ const (
 // envelope is one protocol frame. Only the fields relevant to Kind are set.
 type envelope struct {
 	Kind msgKind
+	// WireVersion is the binary frame version the sender speaks (hello
+	// frames; see wireVersion). Old builds neither set nor read it — gob
+	// silently drops unknown fields, so their hellos decode here as
+	// version 0 and stay on gob frames.
+	WireVersion uint8
 	// ID is the worker id (hello frames).
 	ID string
 	// ShuffleAddr is the worker's shuffle-receiver endpoint (hello frames):
@@ -62,8 +80,48 @@ type envelope struct {
 
 // maxFrameSize bounds a single frame, as a guard against a corrupted or
 // malicious length prefix allocating unbounded memory. 1 GiB comfortably
-// exceeds any real task payload.
+// exceeds any real task payload — and leaves the length word's top bit free
+// to mark binary frames.
 const maxFrameSize = 1 << 30
+
+// binaryFrameFlag marks a binary-codec frame in the length word.
+const binaryFrameFlag = uint32(1) << 31
+
+// FrameSizeError is the named error for a frame whose length prefix exceeds
+// maxFrameSize — a corrupted stream or a hostile peer, never a real task.
+// The pool treats it like any other stream failure: the worker is dropped
+// and its in-flight task reassigned, because nothing after an oversized
+// length prefix can be trusted.
+type FrameSizeError struct {
+	// Size is the length the prefix claimed.
+	Size uint32
+	// Max is the maxFrameSize limit it exceeded.
+	Max uint32
+}
+
+// Error renders the violation.
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("worker: frame of %d bytes exceeds limit %d", e.Size, e.Max)
+}
+
+// FrameTruncatedError is the named error for a stream that ended mid-frame:
+// the length prefix or payload was cut short. It wraps the underlying read
+// error (usually io.ErrUnexpectedEOF). A clean close between frames is NOT
+// a FrameTruncatedError — that surfaces as bare io.EOF.
+type FrameTruncatedError struct {
+	// Want is how many bytes the truncated read needed.
+	Want int
+	// Err is the underlying read error.
+	Err error
+}
+
+// Error renders the truncation.
+func (e *FrameTruncatedError) Error() string {
+	return fmt.Sprintf("worker: stream cut mid-frame (wanted %d bytes): %v", e.Want, e.Err)
+}
+
+// Unwrap exposes the underlying read error for errors.Is.
+func (e *FrameTruncatedError) Unwrap() error { return e.Err }
 
 // frameConn reads and writes envelope frames over an arbitrary byte stream.
 // Writes are mutex-guarded so a worker's heartbeat ticker and its result
@@ -73,15 +131,24 @@ type frameConn struct {
 	r  io.Reader
 	w  io.Writer
 	mu sync.Mutex // guards w
+	// binary switches writes to the binary frame codec. The coordinator
+	// sets it after a hello announcing wireVersion ≥ 1; the worker side
+	// sets it upon receiving its first binary frame. Atomic because the
+	// reader flips it while writers (heartbeat ticker) read it.
+	binary atomic.Bool
 }
 
 func newFrameConn(r io.Reader, w io.Writer) *frameConn {
 	return &frameConn{r: r, w: w}
 }
 
-// write sends one frame: 4-byte big-endian payload length, then the gob
-// payload.
+// write sends one frame: 4-byte big-endian payload length (top bit marking
+// the binary codec), then the payload. Hello frames always go as gob — they
+// carry the version negotiation itself.
 func (c *frameConn) write(env *envelope) error {
+	if c.binary.Load() && env.Kind != msgHello {
+		return c.writeBinary(env)
+	}
 	var buf bytes.Buffer
 	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
 	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
@@ -97,24 +164,56 @@ func (c *frameConn) write(env *envelope) error {
 	return nil
 }
 
-// read receives the next frame. It returns io.EOF unwrapped when the stream
-// ends cleanly between frames, so callers can distinguish a graceful close
-// from a mid-frame cut.
+// writeBinary sends one binary-codec frame from a pooled scratch buffer —
+// the buffer is fully flushed to the stream before it returns to the pool,
+// so steady-state sends allocate nothing.
+func (c *frameConn) writeBinary(env *envelope) error {
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	buf = appendEnvelope(buf, env)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4)|binaryFrameFlag)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(buf); err != nil {
+		return fmt.Errorf("worker: writing %v frame: %w", env.Kind, err)
+	}
+	return nil
+}
+
+// read receives the next frame, auto-detecting its encoding from the length
+// word. It returns io.EOF unwrapped when the stream ends cleanly between
+// frames, so callers can distinguish a graceful close from a mid-frame cut
+// (*FrameTruncatedError). The payload buffer is freshly allocated per frame
+// and ownership passes to the decoded envelope — decoded specs/results hold
+// zero-copy views into it.
 func (c *frameConn) read() (*envelope, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(c.r, lenBuf[:]); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("worker: reading frame length: %w", err)
+		return nil, &FrameTruncatedError{Want: len(lenBuf), Err: err}
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	word := binary.BigEndian.Uint32(lenBuf[:])
+	isBinary := word&binaryFrameFlag != 0
+	n := word &^ binaryFrameFlag
 	if n > maxFrameSize {
-		return nil, fmt.Errorf("worker: frame of %d bytes exceeds limit %d", n, maxFrameSize)
+		return nil, &FrameSizeError{Size: n, Max: maxFrameSize}
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.r, payload); err != nil {
-		return nil, fmt.Errorf("worker: reading %d-byte frame: %w", n, err)
+		return nil, &FrameTruncatedError{Want: int(n), Err: err}
+	}
+	if isBinary {
+		env, err := decodeEnvelope(payload)
+		if err != nil {
+			return nil, fmt.Errorf("worker: decoding frame: %w", err)
+		}
+		// The peer speaks binary, so answering in kind is always safe:
+		// sends on this connection switch over (no-op once flipped).
+		c.binary.Store(true)
+		return env, nil
 	}
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {

@@ -75,6 +75,11 @@ func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
 	opts = opts.fill()
 	conn := newFrameConn(r, w)
 	hello := &envelope{Kind: msgHello, ID: opts.ID}
+	if !mapreduce.WireGob() {
+		// Announce binary support; the coordinator answers with binary
+		// frames and this connection flips over on the first one received.
+		hello.WireVersion = wireVersion
+	}
 	if opts.shuffle != nil {
 		hello.ShuffleAddr = opts.shuffle.addr()
 	}

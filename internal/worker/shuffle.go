@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/wire"
 )
 
 // The direct shuffle data plane: every TCP worker runs a shuffleReceiver — a
@@ -233,35 +234,39 @@ func (s *shuffleReceiver) close() {
 	s.wg.Wait()
 }
 
-// shuffleFrame renders one bucket push: header, session, payload.
-func shuffleFrame(session string, task, reducer int, payload []byte) []byte {
-	frame := make([]byte, shuffleHeaderSize+len(session)+len(payload))
-	binary.BigEndian.PutUint32(frame[0:], uint32(len(session)))
-	binary.BigEndian.PutUint32(frame[4:], uint32(task))
-	binary.BigEndian.PutUint32(frame[8:], uint32(reducer))
-	binary.BigEndian.PutUint32(frame[12:], uint32(len(payload)))
-	copy(frame[shuffleHeaderSize:], session)
-	copy(frame[shuffleHeaderSize+len(session):], payload)
-	return frame
+// appendShuffleFrame renders one bucket push into buf: header, session,
+// payload.
+func appendShuffleFrame(buf []byte, session string, task, reducer int, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, shuffleHeaderSize)...)
+	binary.BigEndian.PutUint32(buf[start+0:], uint32(len(session)))
+	binary.BigEndian.PutUint32(buf[start+4:], uint32(task))
+	binary.BigEndian.PutUint32(buf[start+8:], uint32(reducer))
+	binary.BigEndian.PutUint32(buf[start+12:], uint32(len(payload)))
+	buf = append(buf, session...)
+	return append(buf, payload...)
 }
 
 // shuffleSendGroup dials one peer and streams all of a map attempt's buckets
 // destined for it over the single connection — one dial per destination
-// worker, not per bucket. It returns the reducers whose frames were fully
-// written and the wire bytes moved; on an error the unwritten buckets stay
-// with the caller, which retains them for the routed fallback.
+// worker, not per bucket, and one pooled scratch buffer reused across all
+// its frames. It returns the reducers whose frames were fully written and
+// the wire bytes moved; on an error the unwritten buckets stay with the
+// caller, which retains them for the routed fallback.
 func shuffleSendGroup(endpoint, session string, task int, reducers []int, buckets [][]byte) (sent []int, n int, err error) {
 	conn, err := net.Dial("tcp", endpoint)
 	if err != nil {
 		return nil, 0, fmt.Errorf("worker: dialing shuffle endpoint %s: %w", endpoint, err)
 	}
 	defer conn.Close()
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
 	for _, r := range reducers {
-		frame := shuffleFrame(session, task, r, buckets[r])
-		if _, werr := conn.Write(frame); werr != nil {
+		buf = appendShuffleFrame(buf[:0], session, task, r, buckets[r])
+		if _, werr := conn.Write(buf); werr != nil {
 			return sent, n, fmt.Errorf("worker: pushing bucket to %s: %w", endpoint, werr)
 		}
-		n += len(frame)
+		n += len(buf)
 		sent = append(sent, r)
 	}
 	return sent, n, nil

@@ -69,6 +69,13 @@ func NewSubprocessExecutor(cfg SubprocessConfig) (*SubprocessExecutor, error) {
 func (e *SubprocessExecutor) spawn(i int) error {
 	cmd := exec.Command(e.cfg.Command[0], e.cfg.Command[1:]...)
 	cmd.Env = append(os.Environ(), fmt.Sprintf("STRATA_WORKER_ID=sp-%d", i))
+	if mapreduce.WireGob() {
+		// The escape hatch must cover payload encodings too, and workers
+		// encode payloads themselves — propagate the coordinator's setting
+		// even when it was flipped at runtime (the CLI's -wire flag) rather
+		// than inherited from the environment.
+		cmd.Env = append(cmd.Env, "STRATA_WIRE=gob")
+	}
 	if e.cfg.ExtraEnv != nil {
 		cmd.Env = append(cmd.Env, e.cfg.ExtraEnv(i)...)
 	}
@@ -89,9 +96,12 @@ func (e *SubprocessExecutor) spawn(i int) error {
 	conn := newFrameConn(stdout, stdin)
 	// Stdio workers never announce a shuffle receiver (their only channel is
 	// the coordinator pipe), so this executor always shuffles routed.
-	id, _, err := awaitHello(conn, e.cfg.LeaseTimeout)
+	id, _, version, err := awaitHello(conn, e.cfg.LeaseTimeout)
 	if err != nil {
 		return fmt.Errorf("worker sp-%d: %w", i, err)
+	}
+	if version >= wireVersion && !mapreduce.WireGob() {
+		conn.binary.Store(true)
 	}
 	e.pool.attach(id, "", conn, func() {
 		// Closing stdin EOFs the worker's serve loop; a healthy worker
@@ -105,9 +115,10 @@ func (e *SubprocessExecutor) spawn(i int) error {
 }
 
 // awaitHello reads the worker's hello frame, bounded by timeout. It returns
-// the announced worker id and shuffle-receiver endpoint ("" for routed-only
-// workers).
-func awaitHello(conn *frameConn, timeout time.Duration) (id, shuffleAddr string, err error) {
+// the announced worker id, shuffle-receiver endpoint ("" for routed-only
+// workers) and the binary wire version the worker speaks (0 for gob-only
+// peers — old builds, or workers running with STRATA_WIRE=gob).
+func awaitHello(conn *frameConn, timeout time.Duration) (id, shuffleAddr string, version uint8, err error) {
 	type helloOrErr struct {
 		env *envelope
 		err error
@@ -119,15 +130,15 @@ func awaitHello(conn *frameConn, timeout time.Duration) (id, shuffleAddr string,
 	}()
 	select {
 	case <-time.After(timeout):
-		return "", "", fmt.Errorf("timed out after %v waiting for hello", timeout)
+		return "", "", 0, fmt.Errorf("timed out after %v waiting for hello", timeout)
 	case h := <-ch:
 		if h.err != nil {
-			return "", "", fmt.Errorf("reading hello: %w", h.err)
+			return "", "", 0, fmt.Errorf("reading hello: %w", h.err)
 		}
 		if h.env.Kind != msgHello {
-			return "", "", fmt.Errorf("expected hello, got %v frame", h.env.Kind)
+			return "", "", 0, fmt.Errorf("expected hello, got %v frame", h.env.Kind)
 		}
-		return h.env.ID, h.env.ShuffleAddr, nil
+		return h.env.ID, h.env.ShuffleAddr, h.env.WireVersion, nil
 	}
 }
 

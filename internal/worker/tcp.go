@@ -70,14 +70,17 @@ func (e *TCPExecutor) acceptLoop() {
 		}
 		go func() {
 			fc := newFrameConn(conn, conn)
-			id, shuffleAddr, err := awaitHello(fc, e.cfg.LeaseTimeout)
+			id, shuffleAddr, version, err := awaitHello(fc, e.cfg.LeaseTimeout)
 			if err != nil {
 				slog.Warn("worker: rejecting connection", "remote", conn.RemoteAddr(), "err", err)
 				conn.Close()
 				return
 			}
+			if version >= wireVersion && !mapreduce.WireGob() {
+				fc.binary.Store(true)
+			}
 			slog.Debug("worker: registered", "worker", id,
-				"remote", conn.RemoteAddr(), "shuffle_addr", shuffleAddr)
+				"remote", conn.RemoteAddr(), "shuffle_addr", shuffleAddr, "wire_version", version)
 			e.pool.attach(id, shuffleAddr, fc, func() { conn.Close() })
 		}()
 	}

@@ -1,0 +1,90 @@
+package worker
+
+import (
+	"fmt"
+
+	"repro/internal/mapreduce"
+	"repro/internal/wire"
+)
+
+// wireVersion is the binary frame format this build speaks. Version 0 is
+// gob-only (pre-codec builds, and builds running with STRATA_WIRE=gob); a
+// worker announces its version in the (always-gob) hello frame, and the
+// coordinator switches the connection to binary frames only when the worker
+// announced ≥ 1 — old peers on either side interoperate via gob unchanged.
+const wireVersion = 1
+
+// envelope flag bits in the binary frame encoding.
+const (
+	envShuffleLost = 1 << 0
+	envHasSpec     = 1 << 1
+	envHasResult   = 1 << 2
+)
+
+// appendEnvelope appends the binary form of one frame body: kind byte, flag
+// byte, identity strings, seq, error text, then the spec/result bodies when
+// present. Hello frames never take this path (they are the negotiation
+// carrier and stay gob), but the codec handles every kind anyway so the
+// fuzz corpus covers the full envelope space.
+func appendEnvelope(buf []byte, env *envelope) []byte {
+	buf = append(buf, byte(env.Kind))
+	var flags byte
+	if env.ShuffleLost {
+		flags |= envShuffleLost
+	}
+	if env.Spec != nil {
+		flags |= envHasSpec
+	}
+	if env.Result != nil {
+		flags |= envHasResult
+	}
+	buf = append(buf, flags)
+	buf = wire.AppendString(buf, env.ID)
+	buf = wire.AppendString(buf, env.ShuffleAddr)
+	buf = wire.AppendUvarint(buf, env.Seq)
+	buf = wire.AppendString(buf, env.Err)
+	if env.Spec != nil {
+		buf = mapreduce.AppendTaskSpec(buf, env.Spec)
+	}
+	if env.Result != nil {
+		buf = mapreduce.AppendTaskResult(buf, env.Result)
+	}
+	return buf
+}
+
+// decodeEnvelope decodes one binary frame body. Byte-slice fields of the
+// embedded spec/result alias payload, so the caller must hand over
+// ownership of the buffer (the read path allocates a fresh buffer per
+// frame for exactly this reason).
+func decodeEnvelope(payload []byte) (*envelope, error) {
+	r := wire.NewReader(payload)
+	env := &envelope{}
+	env.Kind = msgKind(r.Byte())
+	flags := r.Byte()
+	env.ShuffleLost = flags&envShuffleLost != 0
+	env.ID = r.String()
+	env.ShuffleAddr = r.String()
+	env.Seq = r.Uvarint()
+	env.Err = r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if flags&envHasSpec != 0 {
+		spec, err := mapreduce.ReadTaskSpec(r)
+		if err != nil {
+			return nil, err
+		}
+		env.Spec = spec
+	}
+	if flags&envHasResult != 0 {
+		res, err := mapreduce.ReadTaskResult(r)
+		if err != nil {
+			return nil, err
+		}
+		env.Result = res
+	}
+	if env.Kind < msgHello || env.Kind > msgDrain {
+		return nil, fmt.Errorf("worker: frame with unknown kind %d: %w", env.Kind, wire.ErrCorrupt)
+	}
+	return env, r.Done()
+}
