@@ -30,6 +30,7 @@ func cmdAudit(args []string) error {
 	groupName := fs.String("group", "Small", "query group for -cps: Small, Medium or Large")
 	sample := fs.Int("sample", 100, "per-SSD sample size for -cps")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of the scorecard")
+	subUsage(fs, `strata audit [-n 10000] -query "cond : freq ; ..." [-runs 30] [-alpha 1e-4] [-estimate attr] [-cps [-group Small]] [-json]`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -20,6 +20,7 @@ func cmdExperiments(args []string) error {
 	slaves := fs.Int("slaves", 10, "cluster slaves (fixed-slaves experiments)")
 	seed := fs.Int64("seed", 1, "random seed")
 	asJSON := fs.Bool("json", false, "emit results as JSON instead of tables")
+	subUsage(fs, `strata experiments [-run all|table2|...] [-pop 20000] [-samples 100,1000] [-runs 10] [-slaves 10] [-json]`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

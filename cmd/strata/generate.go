@@ -19,6 +19,7 @@ func cmdGenerate(args []string) error {
 	useGraph := fs.Bool("graph", false, "derive attributes from a generated coauthorship network")
 	showStats := fs.Bool("stats", true, "print per-attribute statistics")
 	csv := fs.Bool("csv", false, "dump the population as CSV to stdout")
+	subUsage(fs, `strata generate [-n 10000] [-uniform] [-graph] [-seed 1] [-stats] [-csv]`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

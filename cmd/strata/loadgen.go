@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/serve"
+)
+
+// cmdLoadgen drives a serve daemon with concurrent clients and reports
+// achieved QPS plus latency percentiles. With -selfhost it starts an
+// in-process daemon (no network setup needed); with -compare it runs the same
+// load twice — at the requested -window and at window=0 (one pass per query)
+// — to show what MR-MQE coalescing buys. Requests set "nocache": true so
+// every query exercises the engine, not the result cache.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "", "target daemon host:port (mutually exclusive with -selfhost)")
+	selfhost := fs.Bool("selfhost", false, "start an in-process daemon to drive")
+	clients := fs.Int("clients", 32, "concurrent client goroutines")
+	requests := fs.Int("requests", 2000, "total requests across all clients")
+	queries := fs.Int("queries", 8, "distinct query templates cycled by the clients")
+	n := fs.Int("n", 100000, "population size (selfhost)")
+	seed := fs.Int64("seed", 1, "population + partition + sampling seed (selfhost)")
+	slaves := fs.Int("slaves", 4, "cluster slaves per pass (selfhost)")
+	window := fs.Duration("window", 5*time.Millisecond, "batching window (selfhost)")
+	maxBatch := fs.Int("max-batch", 64, "batch size cap (selfhost)")
+	compare := fs.Bool("compare", false, "also run the identical load at window=0 and report the ratio (selfhost only)")
+	jsonOut := fs.String("json", "", "write the report as JSON to this file")
+	subUsage(fs, "strata loadgen -addr host:port | -selfhost [flags]")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*addr == "") == !*selfhost {
+		return fmt.Errorf("loadgen: give exactly one of -addr or -selfhost")
+	}
+	if *compare && !*selfhost {
+		return fmt.Errorf("loadgen: -compare needs -selfhost (it restarts the daemon with window=0)")
+	}
+
+	report := loadgenReport{
+		Clients: *clients, Requests: *requests, DistinctQueries: *queries,
+		Window: window.String(),
+	}
+	if *selfhost {
+		fmt.Printf("generating population of %d (seed %d)...\n", *n, *seed)
+		pop := gen.Population(*n, *seed)
+		report.Population = pop.Len()
+		run := func(w time.Duration) (loadgenRun, error) {
+			srv, err := serve.NewServer(serve.Config{
+				Population: pop, Slaves: *slaves, PartitionSeed: *seed,
+				Window: w, MaxBatch: *maxBatch,
+				NewCluster: newCluster, OnMetrics: recordMetrics,
+			})
+			if err != nil {
+				return loadgenRun{}, err
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			r, err := driveLoad(ts.URL, *clients, *requests, *queries, *seed)
+			srv.BeginDrain()
+			srv.Drain()
+			return r, err
+		}
+		batched, err := run(*window)
+		if err != nil {
+			return err
+		}
+		report.Batched = &batched
+		printRun(fmt.Sprintf("window=%v", *window), batched)
+		if *compare {
+			unbatched, err := run(0)
+			if err != nil {
+				return err
+			}
+			report.Unbatched = &unbatched
+			printRun("window=0", unbatched)
+			if unbatched.QPS > 0 {
+				report.Speedup = batched.QPS / unbatched.QPS
+				fmt.Printf("\nbatching speedup: %.2fx QPS (%.0f vs %.0f), %d passes vs %d\n",
+					report.Speedup, batched.QPS, unbatched.QPS,
+					batched.Stats.Passes, unbatched.Stats.Passes)
+			}
+		}
+	} else {
+		r, err := driveLoad("http://"+*addr, *clients, *requests, *queries, *seed)
+		if err != nil {
+			return err
+		}
+		report.Batched = &r
+		printRun(*addr, r)
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// loadgenReport is the -json output shape.
+type loadgenReport struct {
+	Population      int         `json:"population,omitempty"`
+	Clients         int         `json:"clients"`
+	Requests        int         `json:"requests"`
+	DistinctQueries int         `json:"distinct_queries"`
+	Window          string      `json:"window"`
+	Batched         *loadgenRun `json:"batched,omitempty"`
+	Unbatched       *loadgenRun `json:"unbatched,omitempty"`
+	Speedup         float64     `json:"qps_speedup,omitempty"`
+}
+
+// loadgenRun is one measured load run.
+type loadgenRun struct {
+	OK        int             `json:"ok"`
+	Failed    int             `json:"failed"`
+	WallMS    int64           `json:"wall_ms"`
+	QPS       float64         `json:"qps"`
+	P50MS     float64         `json:"latency_p50_ms"`
+	P90MS     float64         `json:"latency_p90_ms"`
+	P99MS     float64         `json:"latency_p99_ms"`
+	MaxMS     float64         `json:"latency_max_ms"`
+	Stats     serve.Snapshot  `json:"daemon_stats"`
+	statsErr  error           // non-nil when /v1/stats could not be read
+	latencies []time.Duration // not serialized
+}
+
+// loadQuery returns the i-th query template. Templates are distinct
+// single-attribute SSDs over nop so any subset coalesces into one MQE pass.
+func loadQuery(i int) string {
+	t := 50 + 10*(i%60)
+	return fmt.Sprintf("nop >= %d : 5 ; nop < %d : 10", t, t)
+}
+
+// driveLoad fires requests concurrent POST /v1/sample calls from clients
+// goroutines against baseURL and aggregates latency.
+func driveLoad(baseURL string, clients, requests, queries int, seed int64) (loadgenRun, error) {
+	client := &http.Client{Timeout: 2 * time.Minute}
+	type result struct {
+		d   time.Duration
+		err error
+	}
+	results := make([]result, requests)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body, _ := json.Marshal(map[string]any{
+					"query": loadQuery(i % queries), "seed": seed, "nocache": true,
+				})
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+"/v1/sample", "application/json", bytes.NewReader(body))
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("status %d", resp.StatusCode)
+					}
+				}
+				results[i] = result{d: time.Since(t0), err: err}
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	run := loadgenRun{WallMS: wall.Milliseconds()}
+	for _, r := range results {
+		if r.err != nil {
+			run.Failed++
+			continue
+		}
+		run.OK++
+		run.latencies = append(run.latencies, r.d)
+	}
+	if run.Failed > 0 {
+		for _, r := range results {
+			if r.err != nil {
+				return run, fmt.Errorf("loadgen: %d/%d requests failed, first: %w", run.Failed, requests, r.err)
+			}
+		}
+	}
+	sort.Slice(run.latencies, func(i, j int) bool { return run.latencies[i] < run.latencies[j] })
+	pct := func(p float64) float64 {
+		if len(run.latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(run.latencies)-1))
+		return float64(run.latencies[i].Microseconds()) / 1000
+	}
+	run.P50MS, run.P90MS, run.P99MS = pct(0.50), pct(0.90), pct(0.99)
+	if len(run.latencies) > 0 {
+		run.MaxMS = float64(run.latencies[len(run.latencies)-1].Microseconds()) / 1000
+	}
+	run.QPS = float64(run.OK) / wall.Seconds()
+
+	if resp, err := client.Get(baseURL + "/v1/stats"); err == nil {
+		err = json.NewDecoder(resp.Body).Decode(&run.Stats)
+		resp.Body.Close()
+		run.statsErr = err
+	} else {
+		run.statsErr = err
+	}
+	return run, nil
+}
+
+func printRun(label string, r loadgenRun) {
+	fmt.Printf("\n[%s] %d ok / %d failed in %dms — %.0f QPS\n",
+		label, r.OK, r.Failed, r.WallMS, r.QPS)
+	fmt.Printf("  latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
+		r.P50MS, r.P90MS, r.P99MS, r.MaxMS)
+	if r.statsErr == nil {
+		fmt.Printf("  daemon: %d passes for %d queries (%.1f distinct/pass, max %d), %d coalesced, %d single-flight\n",
+			r.Stats.Passes, r.Stats.Queries, r.Stats.BatchMean, r.Stats.BatchMax,
+			r.Stats.Coalesced, r.Stats.SingleFlight)
+	}
+}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	strata [-v] [-log level] [-trace spans.jsonl] [-debug-addr addr] [-progress]
-//	       [-backend inproc|subprocess|tcp] [-workers n] [-wire binary|gob] <command> ...
+//	       [-backend inproc|subprocess|tcp] [-workers n] [-routed-shuffle]
+//	       [-wire binary|gob] <command> ...
 //
 //	strata generate    -n 10000 [-uniform] [-graph] [-seed 1] [-stats] [-csv]
 //	strata sample      -n 10000 -query "nop >= 100 : 5; nop < 100 : 10" [-slaves 4]
@@ -16,11 +17,21 @@
 //	strata mssd        -n 10000 -group Small -sample 100 [-runs 5] [-ip] [-explain]
 //	                   [-waves 3]
 //	strata query       -design design.json [-data pop.csv] [-ip] [-out answers.csv]
+//	strata serve       [-addr localhost:8372] [-n 100000] [-data pop.csv] [-seed 1]
+//	                   [-slaves 4] [-window 5ms] [-max-batch 64] [-cache 1024]
+//	                   [-qps 0 -burst 16] [-no-prune] [-drain-timeout 10s]
+//	strata loadgen     -addr host:port | -selfhost [-clients 32] [-requests 2000]
+//	                   [-queries 8] [-window 5ms] [-compare] [-json report.json]
 //	strata trace       [-top 5] spans.jsonl
 //	strata experiments [-run all|table2|figure6|figure7|figure8|optimality|uniform|
 //	                    scaling|scorecard] [-pop 20000] [-samples 100,1000]
 //	                   [-runs 10] [-slaves 10] [-json]
 //	strata worker      -stdio | -connect host:port [-id name]
+//
+// The serve command keeps the population resident and coalesces SSD queries
+// arriving within -window into a single MR-MQE pass; loadgen drives it with
+// concurrent clients and reports achieved QPS plus latency percentiles
+// (DESIGN.md §12).
 //
 // The -backend flag selects where engine tasks execute: in this process
 // (inproc, the default), on a pool of "strata worker -stdio" child
@@ -70,6 +81,10 @@ func main() {
 		err = cmdTrace(args[1:])
 	case "experiments":
 		err = cmdExperiments(args[1:])
+	case "serve":
+		err = cmdServe(args[1:])
+	case "loadgen":
+		err = cmdLoadgen(args[1:])
 	case "worker":
 		err = cmdWorker(args[1:])
 	case "-h", "--help", "help":
@@ -99,11 +114,13 @@ commands:
   audit        grade sampling quality: per-stratum fill, inclusion bias, costs
   mssd         answer a generated multi-survey query group (MR-MQE vs MR-CPS)
   query        run an MSSD design from a JSON file over a CSV or generated population
+  serve        resident sampling daemon: coalesce concurrent SSD queries (MR-MQE)
+  loadgen      drive a serve daemon with concurrent clients, report QPS + latency
   trace        summarize a span file written with -trace
   experiments  regenerate the paper's tables and figures
   worker       serve tasks for a coordinator (-stdio, or -connect host:port)
 
-global flags: -v, -log <level>, -trace <spans.jsonl>, -debug-addr <addr>, -progress,
-              -backend inproc|subprocess|tcp, -workers <n>, -wire binary|gob
 run "strata <command> -h" for command flags.`)
+	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(os.Stderr, globalFlagsHelp)
 }

@@ -32,6 +32,7 @@ func cmdMSSD(args []string) error {
 	integer := fs.Bool("ip", false, "solve the exact integer program instead of the LP relaxation")
 	explain := fs.Bool("explain", false, "print the solved sharing plan of the last run")
 	waves := fs.Int("waves", 0, "instead of repeated runs, run this many campaign waves with cross-wave exclusion")
+	subUsage(fs, `strata mssd [-n 20000] [-group Small] [-sample 100] [-runs 5] [-ip] [-explain] [-waves 3]`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -59,11 +59,10 @@ var globalObs obs
 // subcommand and returns the remaining arguments (subcommand + its flags).
 func parseGlobalFlags(args []string) ([]string, error) {
 	fs := flag.NewFlagSet("strata", flag.ContinueOnError)
-	fs.Usage = func() {
-		usage()
-		fmt.Fprintln(os.Stderr, "\nglobal flags (before the command):")
-		fs.PrintDefaults()
-	}
+	// usage() already renders globalFlagsHelp, the single authoritative
+	// global-flag listing; printing fs.PrintDefaults() too would show the
+	// same flags twice.
+	fs.Usage = usage
 	fs.BoolVar(&globalObs.verbose, "v", false, "debug logging (shorthand for -log debug)")
 	fs.StringVar(&globalObs.logLevel, "log", "", "log level: debug, info, warn or error")
 	fs.StringVar(&globalObs.tracePath, "trace", "", "write engine spans to this JSON-lines `file` (read back with \"strata trace\")")

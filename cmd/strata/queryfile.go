@@ -27,6 +27,7 @@ func cmdQuery(args []string) error {
 	slaves := fs.Int("slaves", 4, "cluster slaves")
 	ip := fs.Bool("ip", false, "solve the exact integer program")
 	out := fs.String("out", "", "write the selected individuals to this CSV file")
+	subUsage(fs, `strata query -design design.json [-data pop.csv] [-ip] [-out answers.csv]`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -4,43 +4,19 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"strconv"
-	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/estimate"
 	"repro/internal/gen"
-	"repro/internal/predicate"
 	"repro/internal/query"
 	"repro/internal/stratified"
 )
 
-// parseSSD parses "cond : freq ; cond : freq ; ..." into an SSD query.
+// parseSSD parses "cond : freq ; cond : freq ; ..." into an SSD query (the
+// shared parser lives in internal/query so the serve daemon accepts the same
+// syntax).
 func parseSSD(name, spec string) (*query.SSD, error) {
-	var strata []query.Stratum
-	for _, part := range strings.Split(spec, ";") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		i := strings.LastIndex(part, ":")
-		if i < 0 {
-			return nil, fmt.Errorf("stratum %q: want \"<condition> : <frequency>\"", part)
-		}
-		cond, err := predicate.Parse(strings.TrimSpace(part[:i]))
-		if err != nil {
-			return nil, err
-		}
-		freq, err := strconv.Atoi(strings.TrimSpace(part[i+1:]))
-		if err != nil {
-			return nil, fmt.Errorf("stratum %q: bad frequency: %v", part, err)
-		}
-		strata = append(strata, query.Stratum{Cond: cond, Freq: freq})
-	}
-	if len(strata) == 0 {
-		return nil, fmt.Errorf("empty SSD query")
-	}
-	return query.NewSSD(name, strata...), nil
+	return query.ParseSSD(name, spec)
 }
 
 func cmdSample(args []string) error {
@@ -54,6 +30,7 @@ func cmdSample(args []string) error {
 		"SSD query: \"cond : freq ; cond : freq ; ...\"")
 	showTuples := fs.Bool("print", true, "print the sampled individuals")
 	estimateAttr := fs.String("estimate", "", "also estimate the population mean of this attribute from the sample")
+	subUsage(fs, `strata sample [-n 10000] -query "cond : freq ; ..." [-slaves 4] [-layout contiguous] [-naive] [-estimate attr]`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

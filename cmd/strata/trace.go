@@ -42,10 +42,7 @@ type phaseAgg struct {
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	top := fs.Int("top", 5, "list this many slowest task attempts per job (0 = none)")
-	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: strata trace [-top n] <spans.jsonl>")
-		fs.PrintDefaults()
-	}
+	subUsage(fs, "strata trace [-top 5] <spans.jsonl>")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

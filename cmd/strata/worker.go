@@ -19,6 +19,7 @@ func cmdWorker(args []string) error {
 	connect := fs.String("connect", "", "dial a tcp coordinator at this `addr` and register")
 	id := fs.String("id", "", "worker `id` reported in results and trace spans (default from STRATA_WORKER_ID or the pid)")
 	routed := fs.Bool("routed-shuffle", false, "do not start a direct-shuffle receiver; all buckets travel through the coordinator")
+	subUsage(fs, `strata worker -stdio | -connect host:port [-id name] [-routed-shuffle]`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

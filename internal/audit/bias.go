@@ -34,7 +34,7 @@ type BiasStratum struct {
 type BiasReport struct {
 	Query string `json:"query"`
 	// Runs is how many independent runs were accumulated.
-	Runs   int          `json:"runs"`
+	Runs   int           `json:"runs"`
 	Strata []BiasStratum `json:"strata"`
 	// ReservoirSizes aggregates the per-run "reservoir_size" histograms of
 	// the combiner's intermediate samples (merged with Histogram.Merge, no
@@ -61,10 +61,10 @@ func (b *BiasReport) Passed(alpha float64) bool { return b.MinP() >= alpha }
 // counts. Build one with NewBiasAccumulator, feed each run's answer (and
 // metrics) with AddRun, and finish with Report.
 type BiasAccumulator struct {
-	q       *query.SSD
-	members [][]int64         // per stratum, the IDs of σ_k(R) in split order
-	counts  []map[int64]int64 // per stratum, ID → inclusion count
-	runs    int
+	q          *query.SSD
+	members    [][]int64         // per stratum, the IDs of σ_k(R) in split order
+	counts     []map[int64]int64 // per stratum, ID → inclusion count
+	runs       int
 	reservoirs mapreduce.Histogram
 }
 

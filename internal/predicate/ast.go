@@ -1,13 +1,3 @@
-// Package predicate implements the propositional-formula language of SSD
-// stratum constraints (Section 3.2.1 of the paper): comparisons between an
-// attribute and a constant, combined with conjunction, disjunction and
-// negation, in the style of domain relational calculus selection conditions.
-//
-// The package provides an AST, a parser for a small textual syntax
-// ("gender = 1 and (income < 50000 or income > 100000)"), compilation of a
-// formula against a schema into a fast tuple predicate, and a decision
-// procedure for pairwise disjointness of formulas — which SSD validation
-// requires of every pair of stratum constraints.
 package predicate
 
 import (

@@ -1,0 +1,43 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/predicate"
+)
+
+// ParseSSD parses the CLI/HTTP text form of an SSD query —
+//
+//	"cond : freq ; cond : freq ; ..."
+//
+// e.g. "nop >= 100 : 5 ; nop < 100 : 10" — into an SSD named name. Empty
+// segments are skipped, so a trailing semicolon is fine. It is the shared
+// parser behind "strata sample -query" and the daemon's JSON "query" field.
+func ParseSSD(name, spec string) (*SSD, error) {
+	var strata []Stratum
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.LastIndex(part, ":")
+		if i < 0 {
+			return nil, fmt.Errorf("stratum %q: want \"<condition> : <frequency>\"", part)
+		}
+		cond, err := predicate.Parse(strings.TrimSpace(part[:i]))
+		if err != nil {
+			return nil, err
+		}
+		freq, err := strconv.Atoi(strings.TrimSpace(part[i+1:]))
+		if err != nil {
+			return nil, fmt.Errorf("stratum %q: bad frequency: %v", part, err)
+		}
+		strata = append(strata, Stratum{Cond: cond, Freq: freq})
+	}
+	if len(strata) == 0 {
+		return nil, fmt.Errorf("empty SSD query")
+	}
+	return NewSSD(name, strata...), nil
+}

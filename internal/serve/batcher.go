@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+	"repro/internal/stratified"
+)
+
+// The admission-control batcher. Queries that arrive while a batch is
+// collecting are coalesced into a single engine pass over the resident
+// population; the batch fires when its window elapses or it reaches the
+// maximum size. Within a batch, requests with equal canonical form and seed
+// attach to one entry (single flight): the pass answers the query once and
+// every attached request receives the same answer.
+//
+// Window state machine (DESIGN.md §12):
+//
+//	idle --first query--> collecting(timer=window) --timeout--> executing
+//	collecting --query--> collecting                (attach or add entry)
+//	collecting --size==max--> executing             (early fire)
+//	executing --done--> entries resolved; next query opens a fresh batch
+//
+// A window of zero degenerates to one-pass-per-query: each submission opens
+// and immediately fires its own batch. That is the baseline the load
+// generator compares against.
+//
+// Execution lowers the batch onto the paper's machinery: the distinct
+// queries of a seed group run as one MR-MQE pass, and a group with exactly
+// one distinct query runs as MR-SQE — the |Q|=1 degenerate of MR-MQE —
+// which keeps its answer byte-identical to the one-shot CLI path
+// ("strata sample" with matching population parameters and seed).
+type batcher struct {
+	window   time.Duration
+	maxBatch int
+	epoch    func() int64
+	exec     *executor
+	stats    *Stats
+
+	mu  sync.Mutex
+	cur *batch
+	wg  sync.WaitGroup // running passes, for graceful drain
+}
+
+// batch is one collecting (then executing) admission window.
+type batch struct {
+	epoch   int64
+	entries map[entryKey]*entry
+	order   []entryKey // arrival order: determines MQE query indexes
+	created time.Time
+	timer   *time.Timer
+	fired   bool
+}
+
+// entryKey dedups identical queries inside one batch. The epoch is a batch
+// property, not part of the key: a batch is created under one epoch.
+type entryKey struct {
+	canon string
+	seed  int64
+}
+
+// entry is one distinct query in a batch plus everyone waiting on it.
+type entry struct {
+	q        *query.SSD
+	canon    string
+	seed     int64
+	attached int // number of requests riding this entry
+	done     chan struct{}
+	ans      *query.Answer
+	err      error
+}
+
+// executor runs one batch as engine passes over the resident data.
+type executor struct {
+	schema     *dataset.Schema
+	splits     []dataset.Split
+	bounds     []splitBounds
+	prune      bool
+	slaves     int
+	newCluster func(slaves int) *mapreduce.Cluster
+	onMetrics  func(mapreduce.Metrics)
+	cache      *resultCache
+	stats      *Stats
+}
+
+func newBatcher(window time.Duration, maxBatch int, epoch func() int64, exec *executor, stats *Stats) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &batcher{window: window, maxBatch: maxBatch, epoch: epoch, exec: exec, stats: stats}
+}
+
+// submit admits one query into the current batch (opening one if needed) and
+// returns the entry to wait on. The caller has already consulted the cache.
+func (b *batcher) submit(q *query.SSD, canon string, seed int64) *entry {
+	b.mu.Lock()
+	if b.cur == nil {
+		b.openLocked()
+	}
+	cur := b.cur
+	key := entryKey{canon: canon, seed: seed}
+	e, ok := cur.entries[key]
+	if ok {
+		e.attached++
+		b.stats.addSingleFlight()
+	} else {
+		e = &entry{q: q, canon: canon, seed: seed, attached: 1, done: make(chan struct{})}
+		cur.entries[key] = e
+		cur.order = append(cur.order, key)
+	}
+	fireNow := len(cur.entries) >= b.maxBatch || b.window <= 0
+	if fireNow {
+		b.fireLocked(cur)
+	}
+	b.mu.Unlock()
+	return e
+}
+
+// openLocked starts a fresh collecting batch and arms its window timer.
+func (b *batcher) openLocked() {
+	cur := &batch{
+		epoch:   b.epoch(),
+		entries: make(map[entryKey]*entry),
+		created: time.Now(),
+	}
+	b.cur = cur
+	if b.window > 0 {
+		cur.timer = time.AfterFunc(b.window, func() {
+			b.mu.Lock()
+			if b.cur == cur {
+				b.fireLocked(cur)
+			}
+			b.mu.Unlock()
+		})
+	}
+}
+
+// fireLocked detaches the batch and runs it asynchronously.
+func (b *batcher) fireLocked(cur *batch) {
+	if cur.fired {
+		return
+	}
+	cur.fired = true
+	if cur.timer != nil {
+		cur.timer.Stop()
+	}
+	if b.cur == cur {
+		b.cur = nil
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.exec.run(cur)
+		b.stats.observeWindow(time.Since(cur.created).Nanoseconds())
+	}()
+}
+
+// flush fires the collecting batch, if any (used on drain).
+func (b *batcher) flush() {
+	b.mu.Lock()
+	if b.cur != nil {
+		b.fireLocked(b.cur)
+	}
+	b.mu.Unlock()
+}
+
+// drain flushes and waits for every running pass to finish, looping in case
+// a straggler submission opened a fresh batch between the flush and the
+// wait.
+func (b *batcher) drain() {
+	for {
+		b.flush()
+		b.wg.Wait()
+		b.mu.Lock()
+		empty := b.cur == nil
+		b.mu.Unlock()
+		if empty {
+			return
+		}
+	}
+}
+
+// seedGroup is the slice of a batch sharing one sampling seed; a pass has a
+// single job seed, so each group becomes its own pass.
+type seedGroup struct {
+	seed    int64
+	entries []*entry
+}
+
+// run executes a batch: its entries are grouped by seed and each group
+// becomes one engine pass, queries in arrival order.
+func (x *executor) run(cur *batch) {
+	bySeed := make(map[int64]*seedGroup)
+	var seeds []int64
+	for _, key := range cur.order {
+		g, ok := bySeed[key.seed]
+		if !ok {
+			g = &seedGroup{seed: key.seed}
+			bySeed[key.seed] = g
+			seeds = append(seeds, key.seed)
+		}
+		g.entries = append(g.entries, cur.entries[key])
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	for _, s := range seeds {
+		x.runPass(bySeed[s], cur.epoch)
+	}
+}
+
+// runPass answers one seed group with a single MapReduce pass.
+func (x *executor) runPass(g *seedGroup, epoch int64) {
+	queries := make([]*query.SSD, len(g.entries))
+	requests := 0
+	for i, e := range g.entries {
+		queries[i] = e.q
+		requests += e.attached
+	}
+
+	splits, pruned := x.splits, 0
+	if x.prune {
+		if boxes, ok := queryBoxes(queries, x.schema); ok {
+			splits, pruned = pruneSplits(x.splits, x.bounds, boxes, x.schema)
+		}
+	}
+
+	c := x.newCluster(x.slaves)
+	opts := stratified.Options{Seed: g.seed}
+	var (
+		answers query.MultiAnswer
+		met     mapreduce.Metrics
+		err     error
+	)
+	if len(queries) == 1 {
+		var ans *query.Answer
+		ans, met, err = stratified.RunSQE(c, queries[0], x.schema, splits, opts)
+		answers = query.MultiAnswer{ans}
+	} else {
+		answers, met, err = stratified.RunMQE(c, queries, x.schema, splits, opts)
+	}
+	if err != nil {
+		err = fmt.Errorf("serve: pass failed: %w", err)
+		x.stats.addError()
+		for _, e := range g.entries {
+			e.err = err
+			close(e.done)
+		}
+		return
+	}
+	if x.onMetrics != nil {
+		x.onMetrics(met)
+	}
+	x.stats.addPass(len(queries), requests, pruned)
+	for i, e := range g.entries {
+		e.ans = answers[i]
+		x.cache.put(cacheKey{canon: e.canon, seed: e.seed, epoch: epoch}, e.ans)
+		close(e.done)
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/query"
+)
+
+// cacheKey identifies one answer: the canonical query form (see canon.go),
+// the sampling seed, and the population epoch at the time the answer was
+// computed. Bumping the epoch therefore invalidates every earlier entry
+// without touching them: their keys can simply never be asked for again, and
+// the bump also purges eagerly to release memory.
+type cacheKey struct {
+	canon string
+	seed  int64
+	epoch int64
+}
+
+func (k cacheKey) String() string {
+	return fmt.Sprintf("%s|seed=%d|epoch=%d", k.canon, k.seed, k.epoch)
+}
+
+// resultCache is a mutex-guarded LRU of computed answers. Answers are
+// immutable once published (the batcher never mutates an answer after
+// closing the entry), so the cache hands out shared pointers.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	ans *query.Answer
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{max: max, order: list.New(), byKey: make(map[cacheKey]*list.Element)}
+}
+
+// get returns the cached answer for the key, refreshing its recency.
+func (c *resultCache) get(k cacheKey) (*query.Answer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).ans, true
+}
+
+// put stores an answer, evicting the least recently used entry when full.
+func (c *resultCache) put(k cacheKey, ans *query.Answer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*cacheEntry).ans = ans
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.order.PushFront(&cacheEntry{key: k, ans: ans})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// purge drops every entry (used on epoch bump).
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.byKey = make(map[cacheKey]*list.Element)
+}
+
+// len reports the number of cached answers.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+// Stratum pre-filtering over the resident population. At load time the
+// server computes, for every split, the bounding box of its tuples (per
+// attribute min/max). Per pass, the union of all batched queries' stratum
+// boxes (predicate.Boxes) is intersected against each split's bounds: a
+// split whose bounding box overlaps no query box provably contains no tuple
+// any stratum condition can match, so the pass can skip scanning it.
+//
+// Pruning is index-preserving: a pruned split is replaced by a nil slice in
+// the splits vector rather than removed, so the engine still creates one
+// (trivial) map task per original split and every surviving task keeps its
+// task index — and with it its deterministic RNG seed. That is what makes a
+// pruned pass byte-identical to an unpruned one: the skipped tasks would
+// have emitted nothing (no map output, no combine draws), and the surviving
+// tasks see the same seeds and the same tuples. The saving is the scan of
+// the pruned tuples, which dominates map time for selective query sets.
+
+// splitBounds is the bounding box of one split: one inclusive interval per
+// schema field, indexed by field position. A nil entry means the split is
+// empty (prunable against any query).
+type splitBounds []predicate.Interval
+
+// boundsOf computes per-split bounding boxes for the resident splits.
+func boundsOf(splits []dataset.Split, schema *dataset.Schema) []splitBounds {
+	out := make([]splitBounds, len(splits))
+	for si, split := range splits {
+		if len(split) == 0 {
+			continue
+		}
+		b := make(splitBounds, schema.NumFields())
+		for j := range b {
+			b[j] = predicate.Interval{Lo: split[0].Attrs[j], Hi: split[0].Attrs[j]}
+		}
+		for _, t := range split[1:] {
+			for j, v := range t.Attrs {
+				if v < b[j].Lo {
+					b[j].Lo = v
+				}
+				if v > b[j].Hi {
+					b[j].Hi = v
+				}
+			}
+		}
+		out[si] = b
+	}
+	return out
+}
+
+// queryBoxes returns the union of every stratum box of every query in the
+// pass. An error (e.g. DNF blow-up) disables pruning for the pass rather
+// than failing it.
+func queryBoxes(queries []*query.SSD, schema *dataset.Schema) ([]predicate.Box, bool) {
+	var all []predicate.Box
+	for _, q := range queries {
+		for _, s := range q.Strata {
+			boxes, err := predicate.Boxes(s.Cond, schema)
+			if err != nil {
+				return nil, false
+			}
+			all = append(all, boxes...)
+		}
+	}
+	return all, true
+}
+
+// overlapsBounds reports whether the box shares at least one point with the
+// split's bounding box. Attributes absent from the box are unconstrained.
+func overlapsBounds(b predicate.Box, bounds splitBounds, schema *dataset.Schema) bool {
+	for attr, iv := range b {
+		idx, ok := schema.Index(attr)
+		if !ok {
+			return true // unknown attribute: be conservative, do not prune
+		}
+		if iv.Intersect(bounds[idx]).Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// pruneSplits returns a copy of splits with every provably-irrelevant split
+// replaced by nil, plus the number of splits pruned. The caller must pass
+// bounds aligned with splits (from boundsOf).
+func pruneSplits(splits []dataset.Split, bounds []splitBounds, boxes []predicate.Box, schema *dataset.Schema) ([]dataset.Split, int) {
+	out := make([]dataset.Split, len(splits))
+	pruned := 0
+	for i, split := range splits {
+		if len(split) == 0 {
+			pruned++
+			continue
+		}
+		relevant := false
+		for _, b := range boxes {
+			if overlapsBounds(b, bounds[i], schema) {
+				relevant = true
+				break
+			}
+		}
+		if relevant {
+			out[i] = split
+		} else {
+			pruned++
+		}
+	}
+	return out, pruned
+}

@@ -1,0 +1,490 @@
+package serve
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+)
+
+// Config configures a sampling daemon.
+type Config struct {
+	// Population is the resident relation queries sample from. Required.
+	Population *dataset.Relation
+	// Slaves is the simulated cluster width per pass (as in the CLI's
+	// -slaves). Defaults to 4.
+	Slaves int
+	// Splits is the number of partition splits; 0 means Slaves*2, matching
+	// "strata sample".
+	Splits int
+	// Layout partitions the population across splits. The zero value is
+	// dataset.RoundRobin; "strata serve" passes its -layout flag (default
+	// contiguous, matching "strata sample").
+	Layout dataset.Partitioning
+	// PartitionSeed seeds layout randomization (shuffled layouts) — use the
+	// same value as the CLI's -seed to reproduce its partitioning.
+	PartitionSeed int64
+
+	// Window is the batching window: queries arriving within it coalesce
+	// into one pass. Zero runs one pass per query (no batching).
+	Window time.Duration
+	// MaxBatch fires a batch early once it holds this many distinct
+	// queries. Defaults to 64.
+	MaxBatch int
+	// CacheSize bounds the result cache (answers). Defaults to 1024.
+	CacheSize int
+	// QuotaQPS and QuotaBurst configure the per-tenant token bucket
+	// (tokens/second and bucket capacity). QuotaQPS <= 0 disables quotas.
+	QuotaQPS   float64
+	QuotaBurst int
+	// NoPrune disables box-decomposition split pre-filtering.
+	NoPrune bool
+
+	// NewCluster builds the per-pass cluster; the CLI injects its
+	// observability-wired factory here. Defaults to mapreduce.NewCluster.
+	NewCluster func(slaves int) *mapreduce.Cluster
+	// OnMetrics, when set, receives each pass's engine metrics (the CLI
+	// routes them to the global /metrics accumulator).
+	OnMetrics func(mapreduce.Metrics)
+}
+
+// Server is the resident sampling daemon: it keeps a partitioned population
+// in memory and answers SSD sampling queries over HTTP, coalescing
+// concurrent queries into shared MapReduce passes.
+//
+// Endpoints:
+//
+//	POST /v1/sample  submit a query ({"query": "cond : freq ; ...",
+//	                 "seed": 1}); blocks for the answer unless "wait": false,
+//	                 which returns {"id": ...} for later polling
+//	GET  /v1/result  poll an async answer (?id=...)
+//	GET  /v1/stats   service counters as JSON
+//	POST /v1/epoch   bump the population epoch (invalidates the cache)
+//	GET  /metrics    engine + service metrics, Prometheus text format
+//	GET  /healthz    liveness: population size, epoch, draining flag
+type Server struct {
+	cfg     Config
+	schema  *dataset.Schema
+	splits  []dataset.Split
+	stats   *Stats
+	cache   *resultCache
+	quotas  *quotaTable
+	batcher *batcher
+	mux     *http.ServeMux
+
+	epoch    atomic.Int64
+	draining atomic.Bool
+
+	metMu sync.Mutex
+	met   mapreduce.Metrics
+
+	tickets *ticketStore
+}
+
+// NewServer partitions the population, indexes split bounds for pruning, and
+// returns a ready daemon. It does not listen; mount Handler() on an
+// http.Server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Population == nil {
+		return nil, fmt.Errorf("serve: Config.Population is required")
+	}
+	if cfg.Slaves <= 0 {
+		cfg.Slaves = 4
+	}
+	if cfg.Splits <= 0 {
+		cfg.Splits = cfg.Slaves * 2
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.NewCluster == nil {
+		cfg.NewCluster = mapreduce.NewCluster
+	}
+
+	// Partition seeding mirrors "strata sample" (rand.New(rand.NewSource(seed)))
+	// so a daemon started with the same parameters partitions identically and
+	// singleton-pass answers match the one-shot CLI byte for byte.
+	splits, err := dataset.Partition(cfg.Population, cfg.Splits, cfg.Layout, rand.New(rand.NewSource(cfg.PartitionSeed)))
+	if err != nil {
+		return nil, fmt.Errorf("serve: partitioning population: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		schema:  cfg.Population.Schema(),
+		splits:  splits,
+		stats:   newStats(),
+		cache:   newResultCache(cfg.CacheSize),
+		tickets: newTicketStore(),
+	}
+	if cfg.QuotaQPS > 0 {
+		s.quotas = newQuotaTable(cfg.QuotaQPS, cfg.QuotaBurst)
+	}
+	s.epoch.Store(1)
+	exec := &executor{
+		schema:     s.schema,
+		splits:     splits,
+		bounds:     boundsOf(splits, s.schema),
+		prune:      !cfg.NoPrune,
+		slaves:     cfg.Slaves,
+		newCluster: cfg.NewCluster,
+		onMetrics:  s.recordMetrics,
+		cache:      s.cache,
+		stats:      s.stats,
+	}
+	s.batcher = newBatcher(cfg.Window, cfg.MaxBatch, s.epoch.Load, exec, s.stats)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sample", s.handleSample)
+	mux.HandleFunc("/v1/result", s.handleResult)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/epoch", s.handleEpoch)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats exposes the service counters (for tests and the load generator).
+func (s *Server) Stats() Snapshot { return s.stats.snapshot() }
+
+// Epoch returns the current population epoch.
+func (s *Server) Epoch() int64 { return s.epoch.Load() }
+
+// BumpEpoch advances the population epoch and purges the result cache; every
+// answer computed from now on carries the new epoch. It models a population
+// mutation boundary.
+func (s *Server) BumpEpoch() int64 {
+	e := s.epoch.Add(1)
+	s.cache.purge()
+	return e
+}
+
+// BeginDrain makes every subsequent submission fail with 503 and fires the
+// collecting batch immediately so blocked requests resolve fast.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.batcher.flush()
+}
+
+// Drain waits for every in-flight pass to finish. Call after BeginDrain and
+// after the HTTP server stopped accepting connections.
+func (s *Server) Drain() { s.batcher.drain() }
+
+// recordMetrics accumulates pass metrics for /metrics and forwards them to
+// the configured sink.
+func (s *Server) recordMetrics(m mapreduce.Metrics) {
+	s.metMu.Lock()
+	s.met.Add(m)
+	s.metMu.Unlock()
+	if s.cfg.OnMetrics != nil {
+		s.cfg.OnMetrics(m)
+	}
+}
+
+// sampleRequest is the JSON body of POST /v1/sample. The query can be given
+// either as the CLI text form ("query") or as structured strata; "seed"
+// defaults to 1, matching "strata sample".
+type sampleRequest struct {
+	Name   string `json:"name,omitempty"`
+	Query  string `json:"query,omitempty"`
+	Strata []struct {
+		Cond string `json:"cond"`
+		Freq int    `json:"freq"`
+	} `json:"strata,omitempty"`
+	Seed    *int64 `json:"seed,omitempty"`
+	Wait    *bool  `json:"wait,omitempty"`
+	NoCache bool   `json:"nocache,omitempty"`
+}
+
+// stratumResult is one stratum of an answer.
+type stratumResult struct {
+	Stratum     int      `json:"stratum"` // 1-based, like the CLI output
+	Cond        string   `json:"cond"`
+	Freq        int      `json:"freq"`
+	Count       int      `json:"count"`
+	Individuals []string `json:"individuals"`
+}
+
+// sampleResponse is the JSON answer of POST /v1/sample and GET /v1/result.
+type sampleResponse struct {
+	Name      string          `json:"name"`
+	Seed      int64           `json:"seed"`
+	Epoch     int64           `json:"epoch"`
+	Cached    bool            `json:"cached"`
+	Strata    []stratumResult `json:"strata"`
+	ElapsedUS int64           `json:"elapsed_us"`
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req sampleRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	q, err := s.buildQuery(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tenant := r.Header.Get("X-Strata-Tenant")
+	if s.quotas != nil && !s.quotas.allow(tenant) {
+		s.stats.addRejected(tenant)
+		httpError(w, http.StatusTooManyRequests, "tenant %q over quota", tenant)
+		return
+	}
+	seed := int64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	canon, err := canonicalSSD(q, s.schema)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.stats.addQuery()
+	start := time.Now()
+	epoch := s.epoch.Load()
+
+	if !req.NoCache {
+		if ans, ok := s.cache.get(cacheKey{canon: canon, seed: seed, epoch: epoch}); ok {
+			s.stats.addCacheHit()
+			s.respond(w, q, seed, epoch, ans, true, start)
+			return
+		}
+		s.stats.addCacheMiss()
+	}
+
+	e := s.batcher.submit(q, canon, seed)
+	if req.Wait != nil && !*req.Wait {
+		id, err := s.tickets.add(&ticket{entry: e, q: q, seed: seed, epoch: epoch, start: start})
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": id, "status": "pending"})
+		return
+	}
+	<-e.done
+	if e.err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", e.err)
+		return
+	}
+	s.respond(w, q, seed, epoch, e.ans, false, start)
+}
+
+// buildQuery assembles and validates the SSD from either request form.
+func (s *Server) buildQuery(req *sampleRequest) (*query.SSD, error) {
+	name := req.Name
+	if name == "" {
+		name = "Q"
+	}
+	var q *query.SSD
+	switch {
+	case req.Query != "" && len(req.Strata) > 0:
+		return nil, fmt.Errorf(`give either "query" or "strata", not both`)
+	case req.Query != "":
+		var err error
+		q, err = query.ParseSSD(name, req.Query)
+		if err != nil {
+			return nil, err
+		}
+	case len(req.Strata) > 0:
+		spec, err := json.Marshal(map[string]any{"name": name, "strata": req.Strata})
+		if err != nil {
+			return nil, err
+		}
+		q = new(query.SSD)
+		if err := json.Unmarshal(spec, q); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf(`missing query: set "query" (text form) or "strata"`)
+	}
+	if err := q.Validate(s.schema); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (s *Server) respond(w http.ResponseWriter, q *query.SSD, seed, epoch int64, ans *query.Answer, cached bool, start time.Time) {
+	resp := &sampleResponse{
+		Name: q.Name, Seed: seed, Epoch: epoch, Cached: cached,
+		Strata:    make([]stratumResult, len(q.Strata)),
+		ElapsedUS: time.Since(start).Microseconds(),
+	}
+	for k, st := range q.Strata {
+		individuals := make([]string, len(ans.Strata[k]))
+		for i, t := range ans.Strata[k] {
+			individuals[i] = t.String()
+		}
+		resp.Strata[k] = stratumResult{
+			Stratum: k + 1, Cond: st.Cond.String(), Freq: st.Freq,
+			Count: len(individuals), Individuals: individuals,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "missing id")
+		return
+	}
+	t, ok := s.tickets.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown or already-collected id %q", id)
+		return
+	}
+	select {
+	case <-t.entry.done:
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": id, "status": "pending"})
+		return
+	}
+	s.tickets.remove(id)
+	if t.entry.err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", t.entry.err)
+		return
+	}
+	s.respond(w, t.q, t.seed, t.epoch, t.entry.ans, false, t.start)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.stats.WriteJSON(w); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	e := s.BumpEpoch()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int64{"epoch": e})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metMu.Lock()
+	var m mapreduce.Metrics
+	m.Add(s.met)
+	s.metMu.Unlock()
+	m.Job = "serve"
+	if err := m.WritePrometheus(w); err != nil {
+		return
+	}
+	s.stats.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":     "ok",
+		"population": s.cfg.Population.Len(),
+		"splits":     len(s.splits),
+		"epoch":      s.epoch.Load(),
+		"draining":   s.draining.Load(),
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// ticketStore holds async submissions awaiting collection. Tickets are
+// deleted on first successful read; uncollected tickets expire after
+// ticketTTL. The store caps outstanding tickets so an abandoning client
+// cannot grow it without bound.
+type ticketStore struct {
+	mu      sync.Mutex
+	byID    map[string]*ticket
+	queue   []ticketAge // insertion order, for expiry
+	maxSize int
+}
+
+type ticket struct {
+	entry *entry
+	q     *query.SSD
+	seed  int64
+	epoch int64
+	start time.Time
+}
+
+type ticketAge struct {
+	id      string
+	created time.Time
+}
+
+const ticketTTL = 10 * time.Minute
+
+func newTicketStore() *ticketStore {
+	return &ticketStore{byID: make(map[string]*ticket), maxSize: 4096}
+}
+
+func (ts *ticketStore) add(t *ticket) (string, error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	now := time.Now()
+	for len(ts.queue) > 0 && now.Sub(ts.queue[0].created) > ticketTTL {
+		delete(ts.byID, ts.queue[0].id)
+		ts.queue = ts.queue[1:]
+	}
+	if len(ts.byID) >= ts.maxSize {
+		return "", fmt.Errorf("too many outstanding async results (%d)", len(ts.byID))
+	}
+	buf := make([]byte, 12)
+	if _, err := cryptorand.Read(buf); err != nil {
+		return "", err
+	}
+	id := hex.EncodeToString(buf)
+	ts.byID[id] = t
+	ts.queue = append(ts.queue, ticketAge{id: id, created: now})
+	return id, nil
+}
+
+func (ts *ticketStore) get(id string) (*ticket, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.byID[id]
+	return t, ok
+}
+
+func (ts *ticketStore) remove(id string) {
+	ts.mu.Lock()
+	delete(ts.byID, id)
+	ts.mu.Unlock()
+}

@@ -1,0 +1,440 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+	"repro/internal/stratified"
+)
+
+// testDaemon wraps a Server with an httptest listener and a job-name
+// recorder, so tests can assert exactly which engine jobs each scenario ran.
+type testDaemon struct {
+	s   *Server
+	ts  *httptest.Server
+	mu  sync.Mutex
+	job []string
+}
+
+func newTestDaemon(t *testing.T, cfg Config) *testDaemon {
+	t.Helper()
+	d := &testDaemon{}
+	cfg.OnMetrics = func(m mapreduce.Metrics) {
+		d.mu.Lock()
+		d.job = append(d.job, m.Job)
+		d.mu.Unlock()
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.s = s
+	d.ts = httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		d.s.BeginDrain()
+		d.s.Drain()
+		d.ts.Close()
+	})
+	return d
+}
+
+func (d *testDaemon) jobs() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.job...)
+}
+
+// post submits a sample request and decodes the response.
+func (d *testDaemon) post(t *testing.T, body map[string]any) (*sampleResponse, int) {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(d.ts.URL+"/v1/sample", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var out sampleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp.StatusCode
+}
+
+// directSQE computes the one-shot CLI answer ("strata sample") for the query
+// with matching population parameters, rendered like the daemon renders it.
+func directSQE(t *testing.T, pop *dataset.Relation, spec string, slaves int, seed int64) [][]string {
+	t.Helper()
+	q, err := query.ParseSSD("Q", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits, err := dataset.Partition(pop, slaves*2, dataset.Contiguous, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _, err := stratified.RunSQE(mapreduce.NewCluster(slaves), q, pop.Schema(), splits, stratified.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]string, len(ans.Strata))
+	for k, st := range ans.Strata {
+		out[k] = make([]string, len(st))
+		for i, tp := range st {
+			out[k][i] = tp.String()
+		}
+	}
+	return out
+}
+
+func respIndividuals(r *sampleResponse) [][]string {
+	out := make([][]string, len(r.Strata))
+	for i, s := range r.Strata {
+		out[i] = s.Individuals
+	}
+	return out
+}
+
+// TestCoalescingIdenticalQueries is the coalescing proof: k concurrent
+// identical queries produce exactly one engine job, and every client's
+// answer is byte-identical to the one-shot "strata sample" answer for the
+// same population parameters and seed.
+func TestCoalescingIdenticalQueries(t *testing.T) {
+	const (
+		popN   = 3000
+		slaves = 4
+		seed   = int64(7)
+		k      = 8
+		spec   = "nop >= 50 : 5 ; nop < 50 : 8"
+	)
+	pop := gen.Population(popN, seed)
+	d := newTestDaemon(t, Config{
+		Population: pop, Slaves: slaves, Layout: dataset.Contiguous,
+		PartitionSeed: seed, Window: 30 * time.Second, // fired explicitly below
+	})
+
+	var wg sync.WaitGroup
+	responses := make([]*sampleResponse, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, code := d.post(t, map[string]any{"query": spec, "seed": seed, "nocache": true})
+			if code != http.StatusOK {
+				t.Errorf("client %d: status %d", i, code)
+				return
+			}
+			responses[i] = r
+		}(i)
+	}
+	// Wait until all k requests attached to the collecting batch, then fire
+	// it without waiting out the window.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := d.s.Stats()
+		if snap.SingleFlight == k-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests attached in time", snap.SingleFlight+1, k)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.s.batcher.flush()
+	wg.Wait()
+
+	snap := d.s.Stats()
+	if snap.Passes != 1 {
+		t.Fatalf("passes = %d, want exactly 1", snap.Passes)
+	}
+	if snap.Coalesced != k-1 {
+		t.Errorf("coalesced = %d, want %d", snap.Coalesced, k-1)
+	}
+	if jobs := d.jobs(); len(jobs) != 1 || jobs[0] != "mr-sqe:Q" {
+		t.Errorf("engine jobs = %v, want exactly [mr-sqe:Q]", jobs)
+	}
+
+	want := directSQE(t, pop, spec, slaves, seed)
+	for i, r := range responses {
+		if r == nil {
+			continue
+		}
+		if got := respIndividuals(r); !reflect.DeepEqual(got, want) {
+			t.Errorf("client %d answer differs from one-shot strata sample:\ngot  %v\nwant %v", i, got, want)
+		}
+	}
+}
+
+// TestDistinctQueriesOneMQEPass: distinct queries arriving in one window run
+// as a single MR-MQE job.
+func TestDistinctQueriesOneMQEPass(t *testing.T) {
+	pop := gen.Population(2000, 1)
+	d := newTestDaemon(t, Config{
+		Population: pop, Slaves: 2, Layout: dataset.Contiguous,
+		PartitionSeed: 1, Window: 30 * time.Second, MaxBatch: 3,
+	})
+	specs := []string{
+		"nop >= 100 : 3",
+		"nop >= 50 : 4",
+		"ayp >= 5 : 2",
+	}
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec string) {
+			defer wg.Done()
+			if _, code := d.post(t, map[string]any{"name": fmt.Sprintf("Q%d", i), "query": spec}); code != http.StatusOK {
+				t.Errorf("query %d: status %d", i, code)
+			}
+		}(i, spec)
+	}
+	// MaxBatch=3 fires the batch as the third distinct query arrives.
+	wg.Wait()
+
+	snap := d.s.Stats()
+	if snap.Passes != 1 {
+		t.Fatalf("passes = %d, want 1", snap.Passes)
+	}
+	if snap.PassQueries != 3 {
+		t.Errorf("pass queries = %d, want 3", snap.PassQueries)
+	}
+	if snap.BatchMax != 3 {
+		t.Errorf("batch occupancy max = %d, want 3", snap.BatchMax)
+	}
+	if jobs := d.jobs(); len(jobs) != 1 || jobs[0] != "mr-mqe" {
+		t.Errorf("engine jobs = %v, want exactly [mr-mqe]", jobs)
+	}
+}
+
+// TestCacheSharedAcrossTextualVariants: two textually different but
+// semantically identical queries share one cache entry, and an epoch bump
+// invalidates it.
+func TestCacheSharedAcrossTextualVariants(t *testing.T) {
+	pop := gen.Population(1500, 1)
+	d := newTestDaemon(t, Config{
+		Population: pop, Slaves: 2, Layout: dataset.Contiguous,
+		PartitionSeed: 1, Window: 0, // one pass per query
+	})
+
+	r1, code := d.post(t, map[string]any{"query": "nop >= 100 : 5"})
+	if code != http.StatusOK {
+		t.Fatalf("first: status %d", code)
+	}
+	if r1.Cached {
+		t.Error("first answer claims cached")
+	}
+
+	// Semantically identical, textually different.
+	r2, code := d.post(t, map[string]any{"query": "not (nop < 100) : 5"})
+	if code != http.StatusOK {
+		t.Fatalf("variant: status %d", code)
+	}
+	if !r2.Cached {
+		t.Error("semantically identical variant missed the cache")
+	}
+	if !reflect.DeepEqual(respIndividuals(r1), respIndividuals(r2)) {
+		t.Error("cached variant answer differs from original")
+	}
+	if snap := d.s.Stats(); snap.Passes != 1 {
+		t.Errorf("passes = %d, want 1 (variant must not recompute)", snap.Passes)
+	}
+
+	// Epoch bump invalidates: same query recomputes under the new epoch.
+	resp, err := http.Post(d.ts.URL+"/v1/epoch", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	r3, code := d.post(t, map[string]any{"query": "nop >= 100 : 5"})
+	if code != http.StatusOK {
+		t.Fatalf("post-bump: status %d", code)
+	}
+	if r3.Cached {
+		t.Error("post-bump answer served from stale cache")
+	}
+	if r3.Epoch != 2 {
+		t.Errorf("post-bump epoch = %d, want 2", r3.Epoch)
+	}
+	if snap := d.s.Stats(); snap.Passes != 2 {
+		t.Errorf("passes = %d, want 2 after epoch bump", snap.Passes)
+	}
+}
+
+// TestCacheKeyIncludesSeed: same query text, different seed → different
+// entry (and different sample).
+func TestCacheKeyIncludesSeed(t *testing.T) {
+	pop := gen.Population(1500, 1)
+	d := newTestDaemon(t, Config{
+		Population: pop, Slaves: 2, Layout: dataset.Contiguous, PartitionSeed: 1, Window: 0,
+	})
+	r1, _ := d.post(t, map[string]any{"query": "nop >= 30 : 5", "seed": 1})
+	r2, _ := d.post(t, map[string]any{"query": "nop >= 30 : 5", "seed": 2})
+	if r2.Cached {
+		t.Error("different seed hit the cache")
+	}
+	if reflect.DeepEqual(respIndividuals(r1), respIndividuals(r2)) {
+		t.Error("different seeds produced identical samples (suspicious)")
+	}
+}
+
+func TestQuotaRejectsOverBudgetTenant(t *testing.T) {
+	pop := gen.Population(800, 1)
+	d := newTestDaemon(t, Config{
+		Population: pop, Slaves: 2, Layout: dataset.Contiguous, PartitionSeed: 1,
+		Window: 0, QuotaQPS: 0.0001, QuotaBurst: 1, // one token, negligible refill
+	})
+	do := func(tenant string) int {
+		raw, _ := json.Marshal(map[string]any{"query": "nop >= 30 : 2"})
+		req, _ := http.NewRequest(http.MethodPost, d.ts.URL+"/v1/sample", bytes.NewReader(raw))
+		req.Header.Set("X-Strata-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := do("alice"); code != http.StatusOK {
+		t.Fatalf("first alice query: status %d", code)
+	}
+	if code := do("alice"); code != http.StatusTooManyRequests {
+		t.Fatalf("second alice query: status %d, want 429", code)
+	}
+	// Independent tenant has its own bucket.
+	if code := do("bob"); code != http.StatusOK {
+		t.Fatalf("first bob query: status %d", code)
+	}
+	snap := d.s.Stats()
+	if snap.Rejected["alice"] != 1 {
+		t.Errorf("rejected[alice] = %d, want 1", snap.Rejected["alice"])
+	}
+}
+
+func TestAsyncSubmitAndPoll(t *testing.T) {
+	pop := gen.Population(1000, 1)
+	d := newTestDaemon(t, Config{
+		Population: pop, Slaves: 2, Layout: dataset.Contiguous, PartitionSeed: 1, Window: 0,
+	})
+	raw, _ := json.Marshal(map[string]any{"query": "nop >= 30 : 3", "wait": false})
+	resp, err := http.Post(d.ts.URL+"/v1/sample", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202", resp.StatusCode)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(d.ts.URL + "/v1/result?id=" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var out sampleResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if len(out.Strata) != 1 || out.Strata[0].Count != 3 {
+				t.Fatalf("async answer malformed: %+v", out)
+			}
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("async result never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The ticket is collected on read.
+	resp2, err := http.Get(d.ts.URL + "/v1/result?id=" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("re-poll after collection: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+func TestDrainRejectsNewQueries(t *testing.T) {
+	pop := gen.Population(500, 1)
+	d := newTestDaemon(t, Config{
+		Population: pop, Slaves: 2, Layout: dataset.Contiguous, PartitionSeed: 1, Window: 0,
+	})
+	d.s.BeginDrain()
+	d.s.Drain()
+	if _, code := d.post(t, map[string]any{"query": "nop >= 30 : 2"}); code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: status %d, want 503", code)
+	}
+}
+
+func TestRejectsInvalidQueries(t *testing.T) {
+	pop := gen.Population(500, 1)
+	d := newTestDaemon(t, Config{
+		Population: pop, Slaves: 2, Layout: dataset.Contiguous, PartitionSeed: 1, Window: 0,
+	})
+	for _, body := range []map[string]any{
+		{"query": "broken ::"},
+		{"query": "nop < 10 : 1 ; nop < 20 : 1"}, // overlapping strata
+		{},                                       // no query at all
+		{"query": "nop >= 1 : 1", "strata": []map[string]any{{"cond": "nop >= 1", "freq": 1}}}, // both forms
+	} {
+		raw, _ := json.Marshal(body)
+		resp, err := http.Post(d.ts.URL+"/v1/sample", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %v: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestStructuredStrataForm: the JSON strata form is accepted and matches the
+// text form's cache entry.
+func TestStructuredStrataForm(t *testing.T) {
+	pop := gen.Population(1000, 1)
+	d := newTestDaemon(t, Config{
+		Population: pop, Slaves: 2, Layout: dataset.Contiguous, PartitionSeed: 1, Window: 0,
+	})
+	r1, code := d.post(t, map[string]any{"query": "nop >= 100 : 4"})
+	if code != http.StatusOK {
+		t.Fatalf("text form: status %d", code)
+	}
+	r2, code := d.post(t, map[string]any{
+		"strata": []map[string]any{{"cond": "nop >= 100", "freq": 4}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("strata form: status %d", code)
+	}
+	if !r2.Cached {
+		t.Error("structured form missed the cache entry of the identical text form")
+	}
+	if !reflect.DeepEqual(respIndividuals(r1), respIndividuals(r2)) {
+		t.Error("structured form answer differs")
+	}
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/mapreduce"
+)
+
+// Stats is the daemon's service-level counter set, exported as JSON at
+// /v1/stats and as Prometheus text at /metrics (alongside the accumulated
+// engine metrics). All methods are safe for concurrent use.
+type Stats struct {
+	mu sync.Mutex
+
+	queries     int64 // admitted queries (past quota, before cache)
+	cacheHits   int64
+	cacheMisses int64
+	passes      int64 // engine passes executed
+	passQueries int64 // distinct queries across all passes
+	coalesced   int64 // requests beyond the first in their batch
+	singleFlown int64 // requests that attached to an already-batched identical query
+	pruned      int64 // splits skipped by box pre-filtering, across passes
+	errors      int64 // passes or submissions that failed
+
+	rejected map[string]int64 // per-tenant quota rejections
+
+	// batchOccupancy observes the number of distinct queries per engine
+	// pass; windowNanos observes request time-in-batcher (admission to
+	// answer) for non-cached requests.
+	batchOccupancy mapreduce.Histogram
+	windowNanos    mapreduce.Histogram
+}
+
+func newStats() *Stats {
+	return &Stats{rejected: make(map[string]int64)}
+}
+
+func (s *Stats) addQuery() {
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addCacheHit() {
+	s.mu.Lock()
+	s.cacheHits++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addCacheMiss() {
+	s.mu.Lock()
+	s.cacheMisses++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addRejected(tenant string) {
+	s.mu.Lock()
+	s.rejected[tenant]++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addError() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addSingleFlight() {
+	s.mu.Lock()
+	s.singleFlown++
+	s.mu.Unlock()
+}
+
+// addPass records one executed engine pass: how many distinct queries it
+// answered, how many requests rode it, and how many splits were pruned.
+func (s *Stats) addPass(distinct, requests, pruned int) {
+	s.mu.Lock()
+	s.passes++
+	s.passQueries += int64(distinct)
+	if requests > 1 {
+		s.coalesced += int64(requests - 1)
+	}
+	s.pruned += int64(pruned)
+	s.batchOccupancy.Observe(int64(distinct))
+	s.mu.Unlock()
+}
+
+func (s *Stats) observeWindow(nanos int64) {
+	s.mu.Lock()
+	s.windowNanos.Observe(nanos)
+	s.mu.Unlock()
+}
+
+// Snapshot is the JSON shape of /v1/stats.
+type Snapshot struct {
+	Queries       int64            `json:"queries"`
+	CacheHits     int64            `json:"cache_hits"`
+	CacheMisses   int64            `json:"cache_misses"`
+	Passes        int64            `json:"passes"`
+	PassQueries   int64            `json:"pass_queries"`
+	Coalesced     int64            `json:"coalesced"`
+	SingleFlight  int64            `json:"single_flight"`
+	PrunedSplits  int64            `json:"pruned_splits"`
+	Errors        int64            `json:"errors"`
+	Rejected      map[string]int64 `json:"rejected_by_tenant,omitempty"`
+	BatchMean     float64          `json:"batch_occupancy_mean"`
+	BatchMax      int64            `json:"batch_occupancy_max"`
+	WindowP50Usec int64            `json:"window_latency_p50_us"`
+	WindowP99Usec int64            `json:"window_latency_p99_us"`
+}
+
+// snapshot copies the counters.
+func (s *Stats) snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rej := make(map[string]int64, len(s.rejected))
+	for k, v := range s.rejected {
+		rej[k] = v
+	}
+	snap := Snapshot{
+		Queries: s.queries, CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
+		Passes: s.passes, PassQueries: s.passQueries, Coalesced: s.coalesced,
+		SingleFlight: s.singleFlown, PrunedSplits: s.pruned, Errors: s.errors,
+		Rejected: rej,
+	}
+	if s.batchOccupancy.Count() > 0 {
+		snap.BatchMean = s.batchOccupancy.Mean()
+		snap.BatchMax = s.batchOccupancy.Max()
+	}
+	if s.windowNanos.Count() > 0 {
+		snap.WindowP50Usec = s.windowNanos.Quantile(0.5) / 1000
+		snap.WindowP99Usec = s.windowNanos.Quantile(0.99) / 1000
+	}
+	return snap
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Stats) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.snapshot())
+}
+
+// WritePrometheus renders the service counters in the Prometheus text
+// exposition format under the strata_serve_* namespace.
+func (s *Stats) WritePrometheus(w io.Writer) error {
+	snap := s.snapshot()
+	s.mu.Lock()
+	occ := s.batchOccupancy
+	win := s.windowNanos
+	s.mu.Unlock()
+
+	counters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"strata_serve_queries_total", "Admitted sampling queries.", snap.Queries},
+		{"strata_serve_cache_hits_total", "Queries answered from the result cache.", snap.CacheHits},
+		{"strata_serve_cache_misses_total", "Queries that missed the result cache.", snap.CacheMisses},
+		{"strata_serve_passes_total", "Engine passes executed.", snap.Passes},
+		{"strata_serve_pass_queries_total", "Distinct queries across all passes.", snap.PassQueries},
+		{"strata_serve_coalesced_total", "Requests that shared a pass with an earlier request.", snap.Coalesced},
+		{"strata_serve_single_flight_total", "Requests deduplicated onto an identical in-batch query.", snap.SingleFlight},
+		{"strata_serve_pruned_splits_total", "Splits skipped by box pre-filtering.", snap.PrunedSplits},
+		{"strata_serve_errors_total", "Failed passes or submissions.", snap.Errors},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	tenants := make([]string, 0, len(snap.Rejected))
+	for t := range snap.Rejected {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	if len(tenants) > 0 {
+		if _, err := fmt.Fprintf(w, "# HELP strata_serve_rejected_total Queries rejected by per-tenant quota.\n# TYPE strata_serve_rejected_total counter\n"); err != nil {
+			return err
+		}
+		for _, t := range tenants {
+			if _, err := fmt.Fprintf(w, "strata_serve_rejected_total{tenant=%q} %d\n", t, snap.Rejected[t]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writePromHistogram(w, "strata_serve_batch_occupancy", "Distinct queries per engine pass.", occ); err != nil {
+		return err
+	}
+	return writePromHistogram(w, "strata_serve_window_latency_nanos", "Request time from admission to answer (ns).", win)
+}
+
+func writePromHistogram(w io.Writer, name, help string, h mapreduce.Histogram) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count())
+	return err
+}

@@ -1,0 +1,24 @@
+// Package stream implements simple random sampling from k distributed
+// streams with a coordinator — the related-work baseline the paper contrasts
+// itself against (Cormode, Muthukrishnan, Yi and Zhang, PODS 2010; Tirthapura
+// and Woodruff, DISC 2011). Sites observe items and forward a random subset
+// to a coordinator, which continuously maintains a uniform sample of the
+// union of all streams using far less communication than forwarding
+// everything.
+//
+// The protocol is the binary-row sampling scheme: every item draws a
+// geometric "level" (the number of tails before the first heads); the
+// coordinator keeps only items at or above a global level L, raising L (and
+// telling the sites) whenever its buffer overflows. Conditioned on being
+// retained, items are uniform, so a fixed-size sample drawn from the buffer
+// is a simple random sample of everything observed so far.
+//
+// Section 2 of the paper explains why this machinery cannot answer
+// stratified-sampling queries: the partition into strata is only known at
+// query time and typically differs from the partition into streams, so
+// per-stratum sample-size guarantees are impossible — small strata appear in
+// the maintained sample only in proportion to their population share. The
+// test suite demonstrates exactly that, measuring how far the per-stratum
+// counts of a maintained sample drift from an SSD's requested frequencies on
+// the same population that MR-SQE answers exactly.
+package stream

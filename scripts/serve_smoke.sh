@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the resident sampling daemon.
+#
+# Starts `strata serve`, fires K concurrent identical SSD queries, and
+# asserts the service contract of DESIGN.md §12:
+#   1. the queries coalesce (coalesced counter > 0, exactly one engine pass);
+#   2. every client's answer is identical;
+#   3. the daemon's answer is byte-identical to a one-shot `strata sample`
+#      run with the same population, seed, slaves and layout;
+#   4. SIGTERM drains gracefully.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+POP=20000
+SEED=1
+SLAVES=4
+QUERY='nop >= 100 : 5 ; nop < 100 : 10'
+K=6
+
+tmp="$(mktemp -d)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+echo "== build"
+go build -o "$tmp/strata" ./cmd/strata
+
+echo "== start daemon"
+"$tmp/strata" serve -addr localhost:0 -n "$POP" -seed "$SEED" -slaves "$SLAVES" \
+  -window 300ms >"$tmp/serve.out" 2>"$tmp/serve.err" &
+SERVE_PID=$!
+
+base=""
+for _ in $(seq 1 100); do
+  base="$(sed -n 's|.*on http://\([^ ]*\) .*|\1|p' "$tmp/serve.out" | head -1)"
+  [ -n "$base" ] && curl -sf "http://$base/healthz" >/dev/null 2>&1 && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$tmp/serve.err"; echo "FAIL: daemon died"; exit 1; }
+  sleep 0.1
+done
+[ -n "$base" ] || { echo "FAIL: daemon never came up"; cat "$tmp/serve.err"; exit 1; }
+echo "daemon at $base"
+
+echo "== fire $K concurrent identical queries"
+pids=()
+for i in $(seq 1 "$K"); do
+  curl -sf "http://$base/v1/sample" \
+    -d "{\"query\": \"$QUERY\", \"seed\": $SEED}" >"$tmp/resp.$i.json" &
+  pids+=("$!")
+done
+for p in "${pids[@]}"; do wait "$p"; done
+kill -0 "$SERVE_PID" 2>/dev/null || { echo "FAIL: daemon died under load"; exit 1; }
+
+echo "== check coalescing via /v1/stats"
+curl -sf "http://$base/v1/stats" | tee "$tmp/stats.json"
+python3 - "$tmp/stats.json" <<'PY'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["passes"] == 1, f"want exactly 1 engine pass, got {s['passes']}"
+assert s["coalesced"] > 0, f"coalescing counter is zero: {s}"
+print(f"ok: 1 pass, {s['coalesced']} coalesced, {s['single_flight']} single-flight, "
+      f"{s['cache_hits']} cache hits for {s['queries']} queries")
+PY
+
+echo "== check all $K clients got identical answers"
+python3 - "$tmp" "$K" <<'PY'
+import json, sys
+tmp, k = sys.argv[1], int(sys.argv[2])
+answers = []
+for i in range(1, k + 1):
+    r = json.load(open(f"{tmp}/resp.{i}.json"))
+    answers.append([st["individuals"] for st in r["strata"]])
+assert all(a == answers[0] for a in answers), "clients disagree on the answer"
+print("ok: all clients identical")
+PY
+
+echo "== check byte-identity with one-shot strata sample"
+"$tmp/strata" sample -n "$POP" -seed "$SEED" -slaves "$SLAVES" -query "$QUERY" \
+  >"$tmp/sample.out"
+python3 - "$tmp" <<'PY'
+import json, re, sys
+tmp = sys.argv[1]
+# `strata sample` prints each sampled individual as a two-space-indented line.
+cli = [l.strip() for l in open(f"{tmp}/sample.out") if l.startswith("  ")]
+r = json.load(open(f"{tmp}/resp.1.json"))
+daemon = [ind for st in r["strata"] for ind in st["individuals"]]
+assert cli == daemon, (
+    f"daemon answer differs from strata sample:\ncli    {cli}\ndaemon {daemon}")
+print(f"ok: byte-identical with strata sample ({len(daemon)} individuals)")
+PY
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "FAIL: daemon exited non-zero on SIGTERM"; exit 1; }
+grep -q '^drained:' "$tmp/serve.out" || { echo "FAIL: no drain summary"; cat "$tmp/serve.out"; exit 1; }
+grep '^drained:' "$tmp/serve.out"
+
+echo "PASS: serve smoke"
