@@ -1,6 +1,8 @@
 package main
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"expvar"
 	"flag"
 	"fmt"
@@ -11,10 +13,12 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
 	"repro/internal/mapreduce"
+	"repro/internal/serve"
 	"repro/internal/worker"
 )
 
@@ -47,6 +51,14 @@ type obs struct {
 	tracker   *audit.Tracker
 	stopTick  chan struct{}
 	tickDone  chan struct{}
+
+	// procTrace is the process's trace id when -trace is set: every cluster
+	// the command builds stamps its spans with it (runs numbered by runSeq),
+	// so multi-run commands produce one coherent trace per process. started
+	// anchors the debug server's uptime gauge.
+	procTrace string
+	runSeq    atomic.Int64
+	started   time.Time
 
 	mu      sync.Mutex
 	metrics mapreduce.Metrics
@@ -108,6 +120,7 @@ func (o *obs) setup() error {
 	}
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
 
+	o.started = time.Now()
 	if o.tracePath != "" {
 		f, err := os.Create(o.tracePath)
 		if err != nil {
@@ -115,6 +128,12 @@ func (o *obs) setup() error {
 		}
 		o.traceFile = f
 		o.tracer = mapreduce.NewJSONLTracer(f)
+		var b [8]byte
+		if _, err := cryptorand.Read(b[:]); err == nil {
+			o.procTrace = hex.EncodeToString(b[:])
+		} else {
+			o.procTrace = "t-cli"
+		}
 	}
 
 	// The tracker consumes the span stream whenever someone can watch it:
@@ -213,7 +232,9 @@ func (o *obs) serveDebug() error {
 		m := o.snapshot()
 		if err := m.WritePrometheus(w); err != nil {
 			slog.Error("writing /metrics", "err", err)
+			return
 		}
+		serve.WriteBuildInfo(w, o.started)
 	})
 	http.Handle("/progress", o.tracker)
 	http.HandleFunc("/quality", func(w http.ResponseWriter, _ *http.Request) {
@@ -303,6 +324,15 @@ func newCluster(slaves int) *mapreduce.Cluster {
 	}
 	if globalObs.tracer != nil || globalObs.debugAddr != "" {
 		c.PerKeyMetrics = true
+	}
+	if globalObs.tracer != nil {
+		// Each cluster run of the process traces under the process trace id,
+		// runs numbered in creation order. The serve daemon overrides this
+		// with per-request trace contexts; one-shot commands keep it.
+		c.TraceContext = &mapreduce.TraceContext{
+			Trace: globalObs.procTrace,
+			Run:   fmt.Sprintf("r%d", globalObs.runSeq.Add(1)),
+		}
 	}
 	if globalObs.executor != nil {
 		c.Executor = globalObs.executor

@@ -60,7 +60,7 @@ func cmdServe(args []string) error {
 		pop = gen.Population(*n, *seed)
 	}
 
-	srv, err := serve.NewServer(serve.Config{
+	cfg := serve.Config{
 		Population:    pop,
 		Slaves:        *slaves,
 		Layout:        strategy,
@@ -73,7 +73,14 @@ func cmdServe(args []string) error {
 		NoPrune:       *noPrune,
 		NewCluster:    newCluster,
 		OnMetrics:     recordMetrics,
-	})
+	}
+	if globalObs.tracer != nil {
+		// -trace turns on end-to-end tracing: the daemon's request/batch/pass
+		// spans and every pass's engine spans land in one span file, merged
+		// back into request trees by "strata trace".
+		cfg.Tracer = globalObs.tracer
+	}
+	srv, err := serve.NewServer(cfg)
 	if err != nil {
 		return err
 	}

@@ -51,6 +51,14 @@ type Cluster struct {
 	// (per-stratum) reduce counters. It is implied by an enabled Tracer;
 	// off by default because a wide key space would make Metrics large.
 	PerKeyMetrics bool
+	// TraceContext, when non-nil and combined with an enabled Tracer,
+	// threads a cross-process trace identity through the run: every span
+	// is stamped with Trace/Run/ID/Parent, TaskSpecs shipped to remote
+	// workers carry the context (wire version ≥ 2; old peers simply run
+	// untraced), and each remote attempt decomposes into
+	// queue/wire/decode/exec/push/recv child spans. Nil keeps the PR 2
+	// span stream byte-for-byte unchanged.
+	TraceContext *TraceContext
 	// Clock, when non-nil, replaces time.Now for the engine's wall-clock
 	// reads (Metrics.WallTime and the Start/Wall fields of spans). A
 	// FrozenClock zeroes every wall measurement, which — together with a

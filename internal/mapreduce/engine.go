@@ -158,6 +158,13 @@ func Run[I any, K comparable, V any, O any](c *Cluster, job *Job[I, K, V, O], sp
 	}
 
 	tr := c.tracer()
+	if tr != nil && c.TraceContext != nil {
+		// Distributed tracing: stamp every span of this run with the
+		// cluster's trace identity. Ids are deterministic hashes of span
+		// identity (SpanID), so no per-span coordination is needed and
+		// frozen-clock runs stay byte-identical.
+		tr = stampTracer(*c.TraceContext, tr)
+	}
 	perKey := c.PerKeyMetrics || tr != nil
 	logDebug := slog.Default().Enabled(context.Background(), slog.LevelDebug)
 	if jo, ok := tr.(JobObserver); ok {

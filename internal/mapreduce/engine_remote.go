@@ -38,6 +38,28 @@ func runRemote[I any, K comparable, V any, O any](
 	// what keeps traced runs reproducible.
 	frozen := c.Clock != nil
 
+	// Distributed tracing: with a TraceContext (and an enabled tracer, in
+	// which case tr arrives here already wrapped in the span stamper),
+	// every TaskSpec carries the trace identity and every successful
+	// attempt decomposes into queue/wire/decode/exec/push/recv child
+	// spans from the pool's and the worker's own measurements.
+	tctx := c.TraceContext
+	if tr == nil {
+		tctx = nil
+	}
+	var startUnix int64
+	if tctx != nil && !frozen {
+		startUnix = start.UnixNano()
+	}
+	stampSpec := func(spec *TaskSpec, phase string, task int) {
+		if tctx == nil {
+			return
+		}
+		spec.Trace = tctx.Trace
+		spec.TraceRun = tctx.Run
+		spec.TraceParent = attemptSpanID(*tctx, job.Name, phase, task, 1)
+	}
+
 	// ---- Direct shuffle plan (control plane only) ----
 	// When the executor can move buckets worker-to-worker and no explicit
 	// Transport was asked for, obtain a shuffle plan: the assignment of
@@ -68,6 +90,7 @@ func runRemote[I any, K comparable, V any, O any](
 		shuffleBytes                             int64
 		bucketBytes                              Histogram
 		startOff, mapDone, combineDone, sendDone time.Duration
+		attr                                     taskAttribution
 	}
 	states := make([]remoteMapState, len(splits))
 	taskErrs := make([]error, len(splits))
@@ -82,15 +105,20 @@ func runRemote[I any, K comparable, V any, O any](
 			taskErrs[task] = fmt.Errorf("encoding split of map task %d: %w", task, err)
 			return
 		}
-		res, err := exec.Execute(&TaskSpec{
+		spec := &TaskSpec{
 			Job: job.Name, Maker: job.Maker, Config: job.Config,
 			Phase: "map", Task: task, Seed: job.Seed,
 			NumReducers: numReducers, NumMapTasks: len(splits),
 			Split: splitPayload, Frozen: frozen, Shuffle: plan,
-		})
+		}
+		stampSpec(spec, PhaseMap, task)
+		res, err := exec.Execute(spec)
 		if err != nil {
 			taskErrs[task] = fmt.Errorf("map task %d on %s executor: %w", task, exec.Name(), err)
 			return
+		}
+		if tctx != nil {
+			st.attr = attribution(res)
 		}
 		st.counters = res.Counters
 		st.custom = res.Custom
@@ -185,6 +213,11 @@ func runRemote[I any, K comparable, V any, O any](
 				}
 				tr.Emit(s)
 			}
+			if tctx != nil {
+				emitRemoteChildren(tr, *tctx, job.Name, PhaseMap, t,
+					attempt+plan.attempts, st.startOff, &st.attr, st.worker,
+					startUnix, frozen)
+			}
 			if job.Combiner != nil {
 				tr.Emit(Span{
 					Job: job.Name, Phase: PhaseCombine, Task: t,
@@ -216,6 +249,10 @@ func runRemote[I any, K comparable, V any, O any](
 	redPerKey := make([]map[string]KeyStats, numReducers)
 	redWorker := make([]string, numReducers)
 	redFailed := make([][]TaskAttempt, numReducers)
+	var redAttr []taskAttribution
+	if tctx != nil {
+		redAttr = make([]taskAttribution, numReducers)
+	}
 	reducerErrs := make([]error, numReducers)
 	shuffleRetries := make([]int64, numReducers)
 	var recvStart, recvDur, redStart, redDur []time.Duration
@@ -299,6 +336,7 @@ func runRemote[I any, K comparable, V any, O any](
 			NumReducers: numReducers, NumMapTasks: len(splits),
 			CollectKeys: perKey, Frozen: frozen,
 		}
+		stampSpec(spec, PhaseReduce, r)
 		var res *TaskResult
 		var err error
 		switch {
@@ -360,6 +398,9 @@ func runRemote[I any, K comparable, V any, O any](
 		if err != nil {
 			reducerErrs[r] = fmt.Errorf("reduce task %d on %s executor: %w", r, exec.Name(), err)
 			return
+		}
+		if tctx != nil {
+			redAttr[r] = attribution(res)
 		}
 		if plan != nil && tr != nil {
 			// The receive happened inside the worker's task execution: split
@@ -464,6 +505,11 @@ func runRemote[I any, K comparable, V any, O any](
 				}
 				tr.Emit(s)
 			}
+			if tctx != nil {
+				emitRemoteChildren(tr, *tctx, job.Name, PhaseReduce, r,
+					attempt+plan.attempts, redStart[r], &redAttr[r], redWorker[r],
+					startUnix, frozen)
+			}
 		}
 		final = append(final, outputs[r]...)
 	}
@@ -484,4 +530,83 @@ func runRemote[I any, K comparable, V any, O any](
 			"simulated", met.SimulatedTotal(), "wall", met.WallTime)
 	}
 	return &Result[O]{Output: final, Metrics: *met}, nil
+}
+
+// taskAttribution is the per-task latency attribution a traced remote
+// attempt comes back with: the worker's own spans plus the pool's queue and
+// round-trip timing and the worker's clock-offset estimate.
+type taskAttribution struct {
+	spans          []WorkerSpan
+	queueNanos     int64
+	sentAt, recvAt int64
+	clockOff       int64
+	clockOK        bool
+}
+
+func attribution(res *TaskResult) taskAttribution {
+	return taskAttribution{
+		spans:      res.Spans,
+		queueNanos: res.QueueNanos,
+		sentAt:     res.SentAtNanos,
+		recvAt:     res.RecvAtNanos,
+		clockOff:   res.ClockOffsetNanos,
+		clockOK:    res.ClockOffsetOK,
+	}
+}
+
+// emitRemoteChildren decomposes one successful remote attempt into child
+// spans parented under the attempt span: the pool-measured queue wait, the
+// derived wire time — (recv − send) − Σ worker-measured durations, which
+// needs no clock alignment — and the worker's own decode/exec/push/recv
+// measurements. Worker span starts are aligned to the coordinator timeline
+// via the hello clock-offset estimate when available, else stacked
+// sequentially after the wire span. Under a frozen clock every duration and
+// start is zero and only the deterministic identity (phase, bytes, ids)
+// remains, preserving byte-identical golden span files.
+func emitRemoteChildren(
+	tr Tracer, ctx TraceContext, job, phase string, task, attempt int,
+	parentStart time.Duration, attr *taskAttribution, worker string,
+	startUnix int64, frozen bool,
+) {
+	parent := attemptSpanID(ctx, job, phase, task, attempt)
+	var queue time.Duration
+	if !frozen && attr.queueNanos > 0 {
+		queue = time.Duration(attr.queueNanos)
+	}
+	tr.Emit(Span{
+		Job: job, Phase: PhaseQueue, Task: task,
+		Start: parentStart, Wall: queue, Worker: worker,
+		ID: childSpanID(ctx, job, phase, task, attempt, PhaseQueue), Parent: parent,
+	})
+	var wireDur time.Duration
+	if !frozen && attr.recvAt > attr.sentAt {
+		wireDur = time.Duration(attr.recvAt - attr.sentAt)
+		for _, ws := range attr.spans {
+			wireDur -= ws.Dur
+		}
+		if wireDur < 0 {
+			wireDur = 0
+		}
+	}
+	cursor := parentStart + queue
+	tr.Emit(Span{
+		Job: job, Phase: PhaseWire, Task: task,
+		Start: cursor, Wall: wireDur, Worker: worker,
+		ID: childSpanID(ctx, job, phase, task, attempt, PhaseWire), Parent: parent,
+	})
+	cursor += wireDur
+	for _, ws := range attr.spans {
+		s := Span{
+			Job: job, Phase: ws.Phase, Task: task,
+			Start: cursor, Wall: ws.Dur, Bytes: ws.Bytes, Worker: worker,
+			ID: childSpanID(ctx, job, phase, task, attempt, ws.Phase), Parent: parent,
+		}
+		if !frozen && attr.clockOK && ws.Start != 0 {
+			if rel := time.Duration(ws.Start - attr.clockOff - startUnix); rel > 0 {
+				s.Start = rel
+			}
+		}
+		tr.Emit(s)
+		cursor = s.Start + ws.Dur
+	}
 }

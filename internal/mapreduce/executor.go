@@ -52,6 +52,18 @@ type TaskSpec struct {
 	// must report zero wall durations so traced runs stay byte-identical
 	// across backends.
 	Frozen bool
+	// Trace, TraceRun and TraceParent propagate the coordinator's trace
+	// context (Cluster.TraceContext) to the worker running this attempt:
+	// the distributed trace id, the run/pass identifier, and the span id
+	// of the attempt span the worker's measurements will be parented
+	// under (best-effort: the spec is built before the pool knows which
+	// real attempt it serves, so it names the first attempt). All
+	// zero when tracing is off — workers then skip span collection
+	// entirely. On the binary wire path these ride a version-gated
+	// extension (wire version ≥ 2); gob carries them natively.
+	Trace       string
+	TraceRun    string
+	TraceParent uint64
 }
 
 // TaskCounters are the measured counters of one executed task attempt.
@@ -121,6 +133,43 @@ type TaskResult struct {
 	// succeeded (crashes, lease expiries); the engine surfaces them as
 	// failed spans and extra attempt counts.
 	FailedAttempts []TaskAttempt
+	// Spans are the worker-side measurements of this attempt (decode,
+	// exec, push, recv — see the Phase* constants), present only when the
+	// spec carried a trace context and the worker speaks wire version ≥ 2.
+	// The coordinator lifts them into child spans of the attempt span.
+	Spans []WorkerSpan
+
+	// The remaining fields are coordinator-local attribution, filled in by
+	// the executor pool on the coordinator side and never wire-encoded
+	// (gob sends their zero values, the binary codec omits them): how long
+	// the task waited in the dispatch queue, when its frame was sent and
+	// its result received (coordinator clock, unix nanos), and the
+	// worker's estimated clock offset from the hello handshake.
+	QueueNanos       int64
+	SentAtNanos      int64
+	RecvAtNanos      int64
+	ClockOffsetNanos int64
+	ClockOffsetOK    bool
+}
+
+// WorkerSpan is one worker-side measurement of a task attempt, shipped back
+// inside the TaskResult and lifted into proper child Spans by the
+// coordinator. Workers emit, in deterministic order: decode and exec for
+// every attempt, push after exec for map attempts running under a
+// ShufflePlan, and recv between decode and exec for reduce attempts that
+// waited on peer-delivered buckets.
+type WorkerSpan struct {
+	// Phase is PhaseDecode, PhaseExec, PhasePush or PhaseRecv.
+	Phase string
+	// Start is the worker's wall clock at span start in unix nanoseconds;
+	// zero under a frozen coordinator clock. The coordinator aligns it to
+	// its own timeline via the hello clock-offset estimate.
+	Start int64
+	// Dur is the measured duration (zero when frozen).
+	Dur time.Duration
+	// Bytes is the byte volume the span handled: frame payload bytes for
+	// decode, wire bytes shipped for push, bucket bytes received for recv.
+	Bytes int64
 }
 
 // Executor runs task attempts for the engine. The engine keeps all

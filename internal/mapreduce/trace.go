@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -22,6 +23,32 @@ const (
 	PhaseShuffleRecv = "shuffle-recv"
 	PhaseReduce      = "reduce"
 	PhaseJob         = "job"
+)
+
+// Child phases of a remote task attempt, emitted only when the cluster has a
+// TraceContext: the attempt span decomposes into the coordinator-measured
+// queue wait and wire time plus the worker's own measurements, shipped back
+// inside the TaskResult (decode, exec, and push or recv depending on the
+// attempt's shuffle role).
+const (
+	// PhaseQueue is the time a task spent in the pool's dispatch queue
+	// before a worker slot picked it up (coordinator clock).
+	PhaseQueue = "queue"
+	// PhaseWire is the round-trip time not accounted for by any
+	// worker-side span: frame encode, network transfer both ways, and
+	// result decode. Derived as (recv − send) − Σ worker spans, so it
+	// needs no clock alignment.
+	PhaseWire = "wire"
+	// PhaseDecode is the worker's task-frame decode time.
+	PhaseDecode = "decode"
+	// PhaseExec is the worker's task core execution time.
+	PhaseExec = "exec"
+	// PhasePush is the worker's direct-shuffle bucket delivery time (map
+	// attempts running under a ShufflePlan).
+	PhasePush = "push"
+	// PhaseRecv is the worker's wait for peer-delivered shuffle buckets
+	// (reduce attempts running under a ShufflePlan).
+	PhaseRecv = "recv"
 )
 
 // Span is one traced unit of engine work: a task attempt, a per-task combine
@@ -66,6 +93,129 @@ type Span struct {
 	// normalize this field: worker assignment races the pool's scheduling, so
 	// it is the one deliberately nondeterministic span field.
 	Worker string `json:"worker,omitempty"`
+	// Trace is the distributed trace id the span belongs to. Empty unless
+	// the emitting cluster carried a TraceContext (or the span producer —
+	// the serve daemon, the CLI — stamped one); spans from different
+	// processes sharing a Trace merge into one tree in `strata trace`.
+	Trace string `json:"trace,omitempty"`
+	// Run identifies the run/pass within the trace — e.g. "r3" for the
+	// third cluster run of a CLI process, or "b5.p0" for serve batch 5,
+	// pass group 0 — so concurrent passes writing one span file do not
+	// interleave ambiguously.
+	Run string `json:"run,omitempty"`
+	// ID is the span's identifier within the trace: a deterministic hash
+	// of its identity (see SpanID), so coordinator and workers agree on
+	// ids without coordination. Zero when the span is untraced.
+	ID uint64 `json:"id,omitempty"`
+	// Parent is the ID of the enclosing span; zero for trace roots and
+	// untraced spans.
+	Parent uint64 `json:"parent,omitempty"`
+}
+
+// TraceContext is the cross-process trace identity a Cluster propagates into
+// every span of a run and into every TaskSpec shipped to a worker. Setting
+// it (together with an enabled Tracer) turns on distributed tracing: each
+// span gains Trace/Run/ID/Parent stamps, and remote task attempts decompose
+// into queue/wire/decode/exec/push/recv child spans.
+type TraceContext struct {
+	// Trace is the trace id, typically a random hex string minted by
+	// whatever admitted the request (the serve daemon, the CLI).
+	Trace string
+	// Run names this cluster run within the trace (satisfies the
+	// one-span-file-many-passes disambiguation: every span of the run
+	// carries it).
+	Run string
+	// Parent is the span id the run's PhaseJob spans hang under — e.g.
+	// the serve daemon's pass span — or zero for a root run.
+	Parent uint64
+}
+
+// FNV-64a parameters, written out so SpanID needs no hash/fnv allocation.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// SpanID derives a deterministic span id from the span's identity parts
+// (trace id, run, job, phase, task, attempt, ...). It is an FNV-64a hash
+// with a separator fold between parts, never returns zero (zero means
+// "untraced"/"root"), and is the shared convention that lets workers, the
+// coordinator, and the serve daemon agree on parent links without passing
+// ids over the wire for every span.
+func SpanID(parts ...string) uint64 {
+	h := uint64(fnvOffset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= fnvPrime64
+		}
+		h ^= 0xff // separator: ("ab","c") must differ from ("a","bc")
+		h *= fnvPrime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// attemptSpanID is the id of a task-attempt span (or the job span, with
+// phase PhaseJob and task/attempt zero) under the given context.
+func attemptSpanID(ctx TraceContext, job, phase string, task, attempt int) uint64 {
+	return SpanID(ctx.Trace, ctx.Run, job, phase, strconv.Itoa(task), strconv.Itoa(attempt))
+}
+
+// childSpanID is the id of a sub-attempt child span (queue/wire/decode/...),
+// distinguished from the attempt span by the trailing phase part.
+func childSpanID(ctx TraceContext, job, phase string, task, attempt int, sub string) uint64 {
+	return SpanID(ctx.Trace, ctx.Run, job, phase, strconv.Itoa(task), strconv.Itoa(attempt), sub)
+}
+
+// spanStamper wraps the run's tracer when the cluster has a TraceContext,
+// stamping every span that passes through with the trace identity: Trace and
+// Run from the context, ID from the SpanID convention, and Parent linking
+// task-level spans under the job span and the job span under ctx.Parent.
+// Spans that arrive with an explicit ID/Parent (the remote child spans) are
+// left alone apart from the Trace/Run stamps.
+type spanStamper struct {
+	ctx   TraceContext
+	inner Tracer
+}
+
+// stampTracer wraps inner so every emitted span carries ctx's identity.
+func stampTracer(ctx TraceContext, inner Tracer) Tracer {
+	return &spanStamper{ctx: ctx, inner: inner}
+}
+
+// Enabled reports true: the engine only wraps an enabled tracer.
+func (t *spanStamper) Enabled() bool { return true }
+
+// Emit stamps and forwards the span.
+func (t *spanStamper) Emit(s Span) {
+	if s.Trace == "" {
+		s.Trace = t.ctx.Trace
+	}
+	if s.Run == "" {
+		s.Run = t.ctx.Run
+	}
+	if s.ID == 0 {
+		s.ID = SpanID(s.Trace, s.Run, s.Job, s.Phase, strconv.Itoa(s.Task), strconv.Itoa(s.Attempt))
+	}
+	if s.Parent == 0 {
+		if s.Phase == PhaseJob {
+			s.Parent = t.ctx.Parent
+		} else {
+			// Task-level spans hang under the run's job span.
+			s.Parent = SpanID(s.Trace, s.Run, s.Job, PhaseJob, "0", "0")
+		}
+	}
+	t.inner.Emit(s)
+}
+
+// JobStarted forwards the announcement when the wrapped tracer observes jobs.
+func (t *spanStamper) JobStarted(job string, mapTasks, reduceTasks int) {
+	if jo, ok := t.inner.(JobObserver); ok {
+		jo.JobStarted(job, mapTasks, reduceTasks)
+	}
 }
 
 // Tracer receives spans from the engine. Implementations must be safe for

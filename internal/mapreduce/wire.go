@@ -194,6 +194,11 @@ const (
 	specHasShuffle  = 1 << 0
 	specCollectKeys = 1 << 1
 	specFrozen      = 1 << 2
+	// specHasTrace marks a trace-context extension after the shuffle
+	// section: trace id, run id, parent span id. Introduced with wire
+	// version 2 — the worker pool strips trace fields from specs bound for
+	// older binary peers, whose decoders reject trailing bytes.
+	specHasTrace = 1 << 3
 )
 
 // AppendTaskSpec appends the spec's binary frame body. The layout mirrors
@@ -223,6 +228,9 @@ func AppendTaskSpec(buf []byte, s *TaskSpec) []byte {
 	if s.Frozen {
 		flags |= specFrozen
 	}
+	if s.Trace != "" {
+		flags |= specHasTrace
+	}
 	buf = append(buf, flags)
 	if s.Shuffle != nil {
 		buf = wire.AppendString(buf, s.Shuffle.Session)
@@ -235,6 +243,11 @@ func AppendTaskSpec(buf []byte, s *TaskSpec) []byte {
 			buf = wire.AppendString(buf, e)
 		}
 		buf = wire.AppendVarint(buf, s.Shuffle.TimeoutMs)
+	}
+	if s.Trace != "" {
+		buf = wire.AppendString(buf, s.Trace)
+		buf = wire.AppendString(buf, s.TraceRun)
+		buf = wire.AppendUvarint(buf, s.TraceParent)
 	}
 	return buf
 }
@@ -279,6 +292,11 @@ func ReadTaskSpec(r *wire.Reader) (*TaskSpec, error) {
 		}
 		p.TimeoutMs = r.Varint()
 		s.Shuffle = p
+	}
+	if flags&specHasTrace != 0 {
+		s.Trace = r.String()
+		s.TraceRun = r.String()
+		s.TraceParent = r.Uvarint()
 	}
 	return s, r.Err()
 }
@@ -326,6 +344,20 @@ func AppendTaskResult(buf []byte, t *TaskResult) []byte {
 	for _, a := range t.FailedAttempts {
 		buf = wire.AppendString(buf, a.Worker)
 		buf = wire.AppendString(buf, a.Err)
+	}
+	// Trace extension (wire version ≥ 2): worker spans ride as a trailing
+	// section. It is self-describing by position — the result body is
+	// always the last thing in its frame, so its absence is simply "no
+	// bytes left" — and a worker only emits it in reply to a spec that
+	// carried a trace context, which proves the coordinator decodes it.
+	if len(t.Spans) > 0 {
+		buf = wire.AppendUvarint(buf, uint64(len(t.Spans)))
+		for _, ws := range t.Spans {
+			buf = wire.AppendString(buf, ws.Phase)
+			buf = wire.AppendVarint(buf, ws.Start)
+			buf = wire.AppendVarint(buf, int64(ws.Dur))
+			buf = wire.AppendVarint(buf, ws.Bytes)
+		}
 	}
 	return buf
 }
@@ -381,6 +413,17 @@ func ReadTaskResult(r *wire.Reader) (*TaskResult, error) {
 		for i := range t.FailedAttempts {
 			t.FailedAttempts[i].Worker = r.String()
 			t.FailedAttempts[i].Err = r.String()
+		}
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		if n := r.Count(4); n > 0 {
+			t.Spans = make([]WorkerSpan, n)
+			for i := range t.Spans {
+				t.Spans[i].Phase = r.String()
+				t.Spans[i].Start = r.Varint()
+				t.Spans[i].Dur = time.Duration(r.Varint())
+				t.Spans[i].Bytes = r.Varint()
+			}
 		}
 	}
 	return t, r.Err()

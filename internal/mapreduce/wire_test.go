@@ -19,6 +19,7 @@ func sampleSpec() *TaskSpec {
 			Endpoints: []string{"127.0.0.1:1", "127.0.0.1:2"}, TimeoutMs: 15000,
 		},
 		CollectKeys: true, Frozen: true,
+		Trace: "3fa9c1d2e4b50607", TraceRun: "b3.p0", TraceParent: 0xdeadbeef,
 	}
 }
 
@@ -40,6 +41,42 @@ func sampleResult() *TaskResult {
 		PerKey:         map[string]KeyStats{"s000000": {Records: 5, Output: 1}},
 		Worker:         "tcp-0",
 		FailedAttempts: []TaskAttempt{{Worker: "tcp-1", Err: "boom"}},
+		Spans: []WorkerSpan{
+			{Phase: PhaseDecode, Start: 1700000000000000000, Dur: 1500, Bytes: 4096},
+			{Phase: PhaseExec, Start: 1700000000000002000, Dur: 2 * time.Millisecond},
+			{Phase: PhasePush, Dur: time.Microsecond, Bytes: 12345},
+		},
+	}
+}
+
+// TestTraceWireCompat: the trace extensions are strictly additive. A spec
+// without a trace context encodes without the trace section and round-trips
+// to empty fields, and a result without worker spans has no trailing section
+// — the exact byte shapes a version-1 peer produces and expects.
+func TestTraceWireCompat(t *testing.T) {
+	spec := sampleSpec()
+	spec.Trace, spec.TraceRun, spec.TraceParent = "", "", 0
+	traced := sampleSpec()
+	if plain, withTrace := AppendTaskSpec(nil, spec), AppendTaskSpec(nil, traced); len(plain) >= len(withTrace) {
+		t.Errorf("untraced spec (%d bytes) not smaller than traced (%d bytes)", len(plain), len(withTrace))
+	}
+	got, err := ReadTaskSpec(wire.NewReader(AppendTaskSpec(nil, spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != "" || got.TraceRun != "" || got.TraceParent != 0 {
+		t.Errorf("untraced spec decoded with trace fields: %+v", got)
+	}
+
+	res := sampleResult()
+	res.Spans = nil
+	buf := AppendTaskResult(nil, res)
+	r := wire.NewReader(buf)
+	if _, err := ReadTaskResult(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("span-free result left %d trailing bytes", r.Remaining())
 	}
 }
 

@@ -41,6 +41,7 @@ type batcher struct {
 	epoch    func() int64
 	exec     *executor
 	stats    *Stats
+	seq      int64 // batch sequence, under mu; names batch runs "b<seq>"
 
 	mu  sync.Mutex
 	cur *batch
@@ -55,6 +56,21 @@ type batch struct {
 	created time.Time
 	timer   *time.Timer
 	fired   bool
+	// seq numbers the batch within the daemon; its passes trace under runs
+	// "b<seq>.p<group>". trace/parent carry the trace identity of the request
+	// that opened the batch, so the batch span hangs under that request in
+	// the merged trace tree.
+	seq    int64
+	trace  string
+	parent uint64
+}
+
+// runName is the batch's trace run id.
+func (cur *batch) runName() string { return fmt.Sprintf("b%d", cur.seq) }
+
+// spanID is the batch span's deterministic id.
+func (cur *batch) spanID() uint64 {
+	return mapreduce.SpanID(cur.trace, cur.runName(), "serve", "batch", "0", "0")
 }
 
 // entryKey dedups identical queries inside one batch. The epoch is a batch
@@ -73,6 +89,12 @@ type entry struct {
 	done     chan struct{}
 	ans      *query.Answer
 	err      error
+	// Lifecycle timestamps for per-query latency attribution: when the batch
+	// fired, and when the entry's engine pass started and finished. Written
+	// before done closes, read only after — the channel close orders them.
+	firedAt   time.Time
+	passStart time.Time
+	passEnd   time.Time
 }
 
 // executor runs one batch as engine passes over the resident data.
@@ -86,6 +108,16 @@ type executor struct {
 	onMetrics  func(mapreduce.Metrics)
 	cache      *resultCache
 	stats      *Stats
+	// tracer, when enabled, receives batch/pass/demux spans and threads a
+	// TraceContext into every pass cluster; base is the daemon start time all
+	// serve span offsets are measured from.
+	tracer mapreduce.Tracer
+	base   time.Time
+}
+
+// traced reports whether this batch should emit spans.
+func (x *executor) traced(cur *batch) bool {
+	return x.tracer != nil && x.tracer.Enabled() && cur.trace != ""
 }
 
 func newBatcher(window time.Duration, maxBatch int, epoch func() int64, exec *executor, stats *Stats) *batcher {
@@ -97,10 +129,14 @@ func newBatcher(window time.Duration, maxBatch int, epoch func() int64, exec *ex
 
 // submit admits one query into the current batch (opening one if needed) and
 // returns the entry to wait on. The caller has already consulted the cache.
-func (b *batcher) submit(q *query.SSD, canon string, seed int64) *entry {
+// trace/traceSpan identify the submitting request; the request that opens a
+// batch lends the batch its trace identity, so the whole batch — and every
+// engine pass under it — traces under the opener.
+func (b *batcher) submit(q *query.SSD, canon string, seed int64, trace string, traceSpan uint64) *entry {
 	b.mu.Lock()
 	if b.cur == nil {
 		b.openLocked()
+		b.cur.trace, b.cur.parent = trace, traceSpan
 	}
 	cur := b.cur
 	key := entryKey{canon: canon, seed: seed}
@@ -123,10 +159,12 @@ func (b *batcher) submit(q *query.SSD, canon string, seed int64) *entry {
 
 // openLocked starts a fresh collecting batch and arms its window timer.
 func (b *batcher) openLocked() {
+	b.seq++
 	cur := &batch{
 		epoch:   b.epoch(),
 		entries: make(map[entryKey]*entry),
 		created: time.Now(),
+		seq:     b.seq,
 	}
 	b.cur = cur
 	if b.window > 0 {
@@ -148,6 +186,10 @@ func (b *batcher) fireLocked(cur *batch) {
 	cur.fired = true
 	if cur.timer != nil {
 		cur.timer.Stop()
+	}
+	firedAt := time.Now()
+	for _, e := range cur.entries {
+		e.firedAt = firedAt
 	}
 	if b.cur == cur {
 		b.cur = nil
@@ -207,13 +249,25 @@ func (x *executor) run(cur *batch) {
 		g.entries = append(g.entries, cur.entries[key])
 	}
 	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
-	for _, s := range seeds {
-		x.runPass(bySeed[s], cur.epoch)
+	for i, s := range seeds {
+		x.runPass(bySeed[s], cur, i)
+	}
+	if x.traced(cur) {
+		x.tracer.Emit(mapreduce.Span{
+			Job: "serve", Phase: "batch",
+			Trace: cur.trace, Run: cur.runName(),
+			ID: cur.spanID(), Parent: cur.parent,
+			Start:   cur.created.Sub(x.base),
+			Wall:    time.Since(cur.created),
+			Records: int64(len(cur.order)),
+		})
 	}
 }
 
-// runPass answers one seed group with a single MapReduce pass.
-func (x *executor) runPass(g *seedGroup, epoch int64) {
+// runPass answers one seed group with a single MapReduce pass. idx is the
+// group's position within the batch, naming the pass run "b<seq>.p<idx>".
+func (x *executor) runPass(g *seedGroup, cur *batch, idx int) {
+	passStart := time.Now()
 	queries := make([]*query.SSD, len(g.entries))
 	requests := 0
 	for i, e := range g.entries {
@@ -229,6 +283,21 @@ func (x *executor) runPass(g *seedGroup, epoch int64) {
 	}
 
 	c := x.newCluster(x.slaves)
+	traced := x.traced(cur)
+	passRun := fmt.Sprintf("%s.p%d", cur.runName(), idx)
+	var passSpan uint64
+	if traced {
+		// The pass's engine run traces under the pass span: the cluster
+		// stamps its job/attempt/worker spans with this context, linking the
+		// whole distributed execution into the request's tree. A cluster
+		// factory that wires its own tracer (the CLI's) keeps it; otherwise
+		// the daemon's tracer collects the engine spans too.
+		passSpan = mapreduce.SpanID(cur.trace, passRun, "serve", "pass", "0", "0")
+		c.TraceContext = &mapreduce.TraceContext{Trace: cur.trace, Run: passRun, Parent: passSpan}
+		if c.Tracer == nil {
+			c.Tracer = x.tracer
+		}
+	}
 	opts := stratified.Options{Seed: g.seed}
 	var (
 		answers query.MultiAnswer
@@ -242,10 +311,12 @@ func (x *executor) runPass(g *seedGroup, epoch int64) {
 	} else {
 		answers, met, err = stratified.RunMQE(c, queries, x.schema, splits, opts)
 	}
+	passEnd := time.Now()
 	if err != nil {
 		err = fmt.Errorf("serve: pass failed: %w", err)
 		x.stats.addError()
 		for _, e := range g.entries {
+			e.passStart, e.passEnd = passStart, passEnd
 			e.err = err
 			close(e.done)
 		}
@@ -256,8 +327,28 @@ func (x *executor) runPass(g *seedGroup, epoch int64) {
 	}
 	x.stats.addPass(len(queries), requests, pruned)
 	for i, e := range g.entries {
+		e.passStart, e.passEnd = passStart, passEnd
 		e.ans = answers[i]
-		x.cache.put(cacheKey{canon: e.canon, seed: e.seed, epoch: epoch}, e.ans)
+		x.cache.put(cacheKey{canon: e.canon, seed: e.seed, epoch: cur.epoch}, e.ans)
 		close(e.done)
+	}
+	if traced {
+		x.tracer.Emit(mapreduce.Span{
+			Job: "serve", Phase: "demux",
+			Trace: cur.trace, Run: passRun,
+			ID:     mapreduce.SpanID(cur.trace, passRun, "serve", "demux", "0", "0"),
+			Parent: passSpan,
+			Start:  passEnd.Sub(x.base),
+			Wall:   time.Since(passEnd),
+			Out:    int64(len(queries)),
+		})
+		x.tracer.Emit(mapreduce.Span{
+			Job: "serve", Phase: "pass",
+			Trace: cur.trace, Run: passRun,
+			ID: passSpan, Parent: cur.spanID(),
+			Start:   passStart.Sub(x.base),
+			Wall:    time.Since(passStart),
+			Records: int64(len(queries)),
+		})
 	}
 }

@@ -55,6 +55,13 @@ type Config struct {
 	// OnMetrics, when set, receives each pass's engine metrics (the CLI
 	// routes them to the global /metrics accumulator).
 	OnMetrics func(mapreduce.Metrics)
+	// Tracer, when set and enabled, receives the daemon's own spans —
+	// request, window, cache, batch, pass, demux — and threads a
+	// TraceContext into every pass cluster so the engine's distributed spans
+	// join the same trace. Nil (the default) keeps the request path free of
+	// span work; trace ids are still minted and echoed so clients can
+	// correlate requests either way.
+	Tracer mapreduce.Tracer
 }
 
 // Server is the resident sampling daemon: it keeps a partitioned population
@@ -83,6 +90,7 @@ type Server struct {
 
 	epoch    atomic.Int64
 	draining atomic.Bool
+	started  time.Time
 
 	metMu sync.Mutex
 	met   mapreduce.Metrics
@@ -127,6 +135,7 @@ func NewServer(cfg Config) (*Server, error) {
 		stats:   newStats(),
 		cache:   newResultCache(cfg.CacheSize),
 		tickets: newTicketStore(),
+		started: time.Now(),
 	}
 	if cfg.QuotaQPS > 0 {
 		s.quotas = newQuotaTable(cfg.QuotaQPS, cfg.QuotaBurst)
@@ -142,6 +151,8 @@ func NewServer(cfg Config) (*Server, error) {
 		onMetrics:  s.recordMetrics,
 		cache:      s.cache,
 		stats:      s.stats,
+		tracer:     cfg.Tracer,
+		base:       s.started,
 	}
 	s.batcher = newBatcher(cfg.Window, cfg.MaxBatch, s.epoch.Load, exec, s.stats)
 
@@ -226,8 +237,24 @@ type sampleResponse struct {
 	Seed      int64           `json:"seed"`
 	Epoch     int64           `json:"epoch"`
 	Cached    bool            `json:"cached"`
+	Trace     string          `json:"trace,omitempty"`
 	Strata    []stratumResult `json:"strata"`
 	ElapsedUS int64           `json:"elapsed_us"`
+}
+
+// newTraceID mints a random 64-bit trace id in hex. Collisions across a
+// daemon's lifetime are astronomically unlikely at any realistic query rate.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return "t-0" // never in practice; keeps the request path infallible
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestSpanID is the root span id of one request's trace.
+func requestSpanID(trace string) uint64 {
+	return mapreduce.SpanID(trace, "req", "serve", "request", "0", "0")
 }
 
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
@@ -268,25 +295,40 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	epoch := s.epoch.Load()
 
+	// Every request gets a trace id — the client's own (X-Strata-Trace) or a
+	// fresh one — echoed in the response header and body so a caller can
+	// always correlate an answer with the daemon's span file.
+	trace := r.Header.Get("X-Strata-Trace")
+	if trace == "" {
+		trace = newTraceID()
+	}
+	w.Header().Set("X-Strata-Trace", trace)
+	reqSpan := requestSpanID(trace)
+
+	var cacheDur time.Duration
 	if !req.NoCache {
-		if ans, ok := s.cache.get(cacheKey{canon: canon, seed: seed, epoch: epoch}); ok {
+		t0 := time.Now()
+		ans, ok := s.cache.get(cacheKey{canon: canon, seed: seed, epoch: epoch})
+		cacheDur = time.Since(t0)
+		if ok {
 			s.stats.addCacheHit()
-			s.respond(w, q, seed, epoch, ans, true, start)
+			s.respond(w, q, seed, epoch, trace, ans, true, start)
+			s.emitRequestTrace(trace, reqSpan, start, cacheDur, nil)
 			return
 		}
 		s.stats.addCacheMiss()
 	}
 
-	e := s.batcher.submit(q, canon, seed)
+	e := s.batcher.submit(q, canon, seed, trace, reqSpan)
 	if req.Wait != nil && !*req.Wait {
-		id, err := s.tickets.add(&ticket{entry: e, q: q, seed: seed, epoch: epoch, start: start})
+		id, err := s.tickets.add(&ticket{entry: e, q: q, seed: seed, epoch: epoch, start: start, trace: trace})
 		if err != nil {
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
-		json.NewEncoder(w).Encode(map[string]string{"id": id, "status": "pending"})
+		json.NewEncoder(w).Encode(map[string]string{"id": id, "status": "pending", "trace": trace})
 		return
 	}
 	<-e.done
@@ -294,7 +336,39 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", e.err)
 		return
 	}
-	s.respond(w, q, seed, epoch, e.ans, false, start)
+	s.stats.observeAttribution(e.firedAt.Sub(start), e.passStart.Sub(e.firedAt), e.passEnd.Sub(e.passStart))
+	s.respond(w, q, seed, epoch, trace, e.ans, false, start)
+	s.emitRequestTrace(trace, reqSpan, start, cacheDur, e)
+}
+
+// emitRequestTrace emits the request-level spans once the answer went out:
+// the request root span, its cache-lookup child, and (for requests that rode
+// a batch) the window child covering admission-to-fire. Batch, pass and
+// engine spans are emitted by the batcher's executor under the same trace.
+func (s *Server) emitRequestTrace(trace string, reqSpan uint64, start time.Time, cacheDur time.Duration, e *entry) {
+	tr := s.cfg.Tracer
+	if tr == nil || !tr.Enabled() || trace == "" {
+		return
+	}
+	startOff := start.Sub(s.started)
+	if cacheDur > 0 {
+		tr.Emit(mapreduce.Span{
+			Job: "serve", Phase: "cache", Trace: trace, Run: "req",
+			ID:     mapreduce.SpanID(trace, "req", "serve", "cache", "0", "0"),
+			Parent: reqSpan, Start: startOff, Wall: cacheDur,
+		})
+	}
+	if e != nil && !e.firedAt.IsZero() {
+		tr.Emit(mapreduce.Span{
+			Job: "serve", Phase: "window", Trace: trace, Run: "req",
+			ID:     mapreduce.SpanID(trace, "req", "serve", "window", "0", "0"),
+			Parent: reqSpan, Start: startOff, Wall: e.firedAt.Sub(start),
+		})
+	}
+	tr.Emit(mapreduce.Span{
+		Job: "serve", Phase: "request", Trace: trace, Run: "req",
+		ID: reqSpan, Start: startOff, Wall: time.Since(start),
+	})
 }
 
 // buildQuery assembles and validates the SSD from either request form.
@@ -331,9 +405,9 @@ func (s *Server) buildQuery(req *sampleRequest) (*query.SSD, error) {
 	return q, nil
 }
 
-func (s *Server) respond(w http.ResponseWriter, q *query.SSD, seed, epoch int64, ans *query.Answer, cached bool, start time.Time) {
+func (s *Server) respond(w http.ResponseWriter, q *query.SSD, seed, epoch int64, trace string, ans *query.Answer, cached bool, start time.Time) {
 	resp := &sampleResponse{
-		Name: q.Name, Seed: seed, Epoch: epoch, Cached: cached,
+		Name: q.Name, Seed: seed, Epoch: epoch, Cached: cached, Trace: trace,
 		Strata:    make([]stratumResult, len(q.Strata)),
 		ElapsedUS: time.Since(start).Microseconds(),
 	}
@@ -348,7 +422,10 @@ func (s *Server) respond(w http.ResponseWriter, q *query.SSD, seed, epoch int64,
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
+	t0 := time.Now()
 	json.NewEncoder(w).Encode(resp)
+	// Encode-and-write time is the "wire" share of the answer's latency.
+	s.stats.observeWire(time.Since(t0))
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -371,11 +448,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.tickets.remove(id)
+	w.Header().Set("X-Strata-Trace", t.trace)
 	if t.entry.err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", t.entry.err)
 		return
 	}
-	s.respond(w, t.q, t.seed, t.epoch, t.entry.ans, false, t.start)
+	e := t.entry
+	s.stats.observeAttribution(e.firedAt.Sub(t.start), e.passStart.Sub(e.firedAt), e.passEnd.Sub(e.passStart))
+	s.respond(w, t.q, t.seed, t.epoch, t.trace, e.ans, false, t.start)
+	// The async request span closes at collection time: its Wall covers
+	// submission through pickup, which is what the client experienced.
+	s.emitRequestTrace(t.trace, requestSpanID(t.trace), t.start, 0, e)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -405,7 +488,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if err := m.WritePrometheus(w); err != nil {
 		return
 	}
-	s.stats.WritePrometheus(w)
+	if err := s.stats.WritePrometheus(w); err != nil {
+		return
+	}
+	WriteBuildInfo(w, s.started)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -442,6 +528,7 @@ type ticket struct {
 	seed  int64
 	epoch int64
 	start time.Time
+	trace string
 }
 
 type ticketAge struct {

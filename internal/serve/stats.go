@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/mapreduce"
 )
@@ -33,6 +35,16 @@ type Stats struct {
 	// answer) for non-cached requests.
 	batchOccupancy mapreduce.Histogram
 	windowNanos    mapreduce.Histogram
+
+	// Per-query latency attribution — where an answered request's time went:
+	// waiting for its batch window to fire, queued behind sibling passes,
+	// inside its own engine pass, and encoding the answer onto the wire.
+	// Always on (a handful of clock reads per request), independent of the
+	// tracer.
+	attrWindow mapreduce.Histogram
+	attrQueue  mapreduce.Histogram
+	attrPass   mapreduce.Histogram
+	attrWire   mapreduce.Histogram
 }
 
 func newStats() *Stats {
@@ -95,6 +107,23 @@ func (s *Stats) observeWindow(nanos int64) {
 	s.mu.Unlock()
 }
 
+// observeAttribution records one answered request's latency split. Negative
+// components (clock steps, zero-window batches) clamp to zero.
+func (s *Stats) observeAttribution(window, queue, pass time.Duration) {
+	s.mu.Lock()
+	s.attrWindow.Observe(max(window.Nanoseconds(), 0))
+	s.attrQueue.Observe(max(queue.Nanoseconds(), 0))
+	s.attrPass.Observe(max(pass.Nanoseconds(), 0))
+	s.mu.Unlock()
+}
+
+// observeWire records one answer's encode-and-write time.
+func (s *Stats) observeWire(d time.Duration) {
+	s.mu.Lock()
+	s.attrWire.Observe(max(d.Nanoseconds(), 0))
+	s.mu.Unlock()
+}
+
 // Snapshot is the JSON shape of /v1/stats.
 type Snapshot struct {
 	Queries       int64            `json:"queries"`
@@ -111,6 +140,15 @@ type Snapshot struct {
 	BatchMax      int64            `json:"batch_occupancy_max"`
 	WindowP50Usec int64            `json:"window_latency_p50_us"`
 	WindowP99Usec int64            `json:"window_latency_p99_us"`
+	// Attribution answers "where did my latency go" per component, keyed
+	// window/queue/pass/wire; present once any request has been attributed.
+	Attribution map[string]AttrQuantiles `json:"latency_attribution,omitempty"`
+}
+
+// AttrQuantiles is one latency-attribution component's summary.
+type AttrQuantiles struct {
+	P50Usec int64 `json:"p50_us"`
+	P99Usec int64 `json:"p99_us"`
 }
 
 // snapshot copies the counters.
@@ -135,6 +173,22 @@ func (s *Stats) snapshot() Snapshot {
 		snap.WindowP50Usec = s.windowNanos.Quantile(0.5) / 1000
 		snap.WindowP99Usec = s.windowNanos.Quantile(0.99) / 1000
 	}
+	attr := map[string]*mapreduce.Histogram{
+		"window": &s.attrWindow, "queue": &s.attrQueue,
+		"pass": &s.attrPass, "wire": &s.attrWire,
+	}
+	for name, h := range attr {
+		if h.Count() == 0 {
+			continue
+		}
+		if snap.Attribution == nil {
+			snap.Attribution = make(map[string]AttrQuantiles)
+		}
+		snap.Attribution[name] = AttrQuantiles{
+			P50Usec: h.Quantile(0.5) / 1000,
+			P99Usec: h.Quantile(0.99) / 1000,
+		}
+	}
 	return snap
 }
 
@@ -152,6 +206,13 @@ func (s *Stats) WritePrometheus(w io.Writer) error {
 	s.mu.Lock()
 	occ := s.batchOccupancy
 	win := s.windowNanos
+	attrs := []struct {
+		name string
+		h    mapreduce.Histogram
+	}{
+		{"window", s.attrWindow}, {"queue", s.attrQueue},
+		{"pass", s.attrPass}, {"wire", s.attrWire},
+	}
 	s.mu.Unlock()
 
 	counters := []struct {
@@ -191,7 +252,40 @@ func (s *Stats) WritePrometheus(w io.Writer) error {
 	if err := writePromHistogram(w, "strata_serve_batch_occupancy", "Distinct queries per engine pass.", occ); err != nil {
 		return err
 	}
-	return writePromHistogram(w, "strata_serve_window_latency_nanos", "Request time from admission to answer (ns).", win)
+	if err := writePromHistogram(w, "strata_serve_window_latency_nanos", "Request time from admission to answer (ns).", win); err != nil {
+		return err
+	}
+	for _, a := range attrs {
+		name := "strata_serve_attr_" + a.name + "_nanos"
+		if err := writePromHistogram(w, name, "Per-request latency attributed to the "+a.name+" component (ns).", a.h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBuildInfo writes the strata_build_info and strata_uptime_seconds
+// gauges in Prometheus text format: build metadata (Go version, VCS revision
+// when the binary was built from a checkout) and seconds since start. Both
+// the serve daemon's /metrics and the CLI's -debug-addr endpoint expose them,
+// so a scrape can always tell which build produced the numbers next to it.
+func WriteBuildInfo(w io.Writer, start time.Time) {
+	goVersion, revision, modified := "unknown", "", "false"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				revision = kv.Value
+			case "vcs.modified":
+				modified = kv.Value
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP strata_build_info Build metadata; the value is always 1.\n# TYPE strata_build_info gauge\n")
+	fmt.Fprintf(w, "strata_build_info{go_version=%q,revision=%q,modified=%q} 1\n", goVersion, revision, modified)
+	fmt.Fprintf(w, "# HELP strata_uptime_seconds Seconds since the process started serving.\n# TYPE strata_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "strata_uptime_seconds %.3f\n", time.Since(start).Seconds())
 }
 
 func writePromHistogram(w io.Writer, name, help string, h mapreduce.Histogram) error {

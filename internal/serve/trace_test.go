@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/mapreduce"
+)
+
+// tracedPost submits a sample request with an explicit X-Strata-Trace header
+// and returns the decoded response plus the echoed trace header.
+func tracedPost(t *testing.T, d *testDaemon, trace string, body map[string]any) (*sampleResponse, string) {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	req, err := http.NewRequest(http.MethodPost, d.ts.URL+"/v1/sample", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set("X-Strata-Trace", trace)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out sampleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp.Header.Get("X-Strata-Trace")
+}
+
+// TestRequestTracing locks the serve daemon's request causality contract: a
+// client-supplied trace id is echoed in header and body, and the span stream
+// links request → batch → pass → engine job into one tree under that id.
+func TestRequestTracing(t *testing.T) {
+	const trace = "cafe0123aa55aa55"
+	pop := gen.Population(1500, 1)
+	tr := mapreduce.NewMemTracer()
+	d := newTestDaemon(t, Config{
+		Population: pop, Slaves: 2, Layout: dataset.Contiguous,
+		PartitionSeed: 1, Window: 0, // one pass per query
+		Tracer: tr,
+	})
+
+	body := map[string]any{"query": "nop >= 50 : 3 ; nop < 50 : 4", "seed": int64(1)}
+	resp, echoed := tracedPost(t, d, trace, body)
+	if echoed != trace {
+		t.Errorf("X-Strata-Trace echoed %q, want %q", echoed, trace)
+	}
+	if resp.Trace != trace {
+		t.Errorf("response body trace %q, want %q", resp.Trace, trace)
+	}
+
+	spans := tr.Spans()
+	byPhase := map[string][]mapreduce.Span{}
+	for _, s := range spans {
+		if s.Trace != trace {
+			t.Fatalf("span %s/%s carries trace %q, want %q", s.Job, s.Phase, s.Trace, trace)
+		}
+		byPhase[s.Phase] = append(byPhase[s.Phase], s)
+	}
+	for _, phase := range []string{"request", "window", "cache", "batch", "pass", "demux", mapreduce.PhaseJob} {
+		if len(byPhase[phase]) == 0 {
+			t.Fatalf("no %q span; got phases %v", phase, phaseNames(byPhase))
+		}
+	}
+
+	request := byPhase["request"][0]
+	if request.Parent != 0 {
+		t.Errorf("request span has parent %d, want root", request.Parent)
+	}
+	if got := requestSpanID(trace); request.ID != got {
+		t.Errorf("request span id %d, want %d", request.ID, got)
+	}
+	batch := byPhase["batch"][0]
+	if batch.Parent != request.ID {
+		t.Errorf("batch span parent %d, want request id %d", batch.Parent, request.ID)
+	}
+	if batch.Run != "b1" {
+		t.Errorf("batch run %q, want b1", batch.Run)
+	}
+	pass := byPhase["pass"][0]
+	if pass.Parent != batch.ID {
+		t.Errorf("pass span parent %d, want batch id %d", pass.Parent, batch.ID)
+	}
+	if pass.Run != "b1.p0" {
+		t.Errorf("pass run %q, want b1.p0", pass.Run)
+	}
+	if demux := byPhase["demux"][0]; demux.Parent != pass.ID {
+		t.Errorf("demux span parent %d, want pass id %d", demux.Parent, pass.ID)
+	}
+	for _, job := range byPhase[mapreduce.PhaseJob] {
+		if job.Parent != pass.ID {
+			t.Errorf("engine job span %q parent %d, want pass id %d", job.Job, job.Parent, pass.ID)
+		}
+		if job.Run != "b1.p0" {
+			t.Errorf("engine job span run %q, want b1.p0", job.Run)
+		}
+	}
+	if win := byPhase["window"][0]; win.Parent != request.ID {
+		t.Errorf("window span parent %d, want request id %d", win.Parent, request.ID)
+	}
+
+	// A repeat of the same query answers from the cache: its trace gets a
+	// request span but opens no new batch.
+	tr.Reset()
+	resp2, _ := tracedPost(t, d, "feed5678feed5678", body)
+	if !resp2.Cached {
+		t.Fatalf("second identical query not served from cache")
+	}
+	for _, s := range tr.Spans() {
+		if s.Phase == "batch" || s.Phase == "pass" {
+			t.Errorf("cache hit emitted a %q span", s.Phase)
+		}
+		if s.Trace != "feed5678feed5678" {
+			t.Errorf("cache-hit span %s carries trace %q", s.Phase, s.Trace)
+		}
+	}
+
+	// Attribution histograms populate independently of the tracer.
+	snap := d.s.Stats()
+	for _, k := range []string{"window", "queue", "pass", "wire"} {
+		if _, ok := snap.Attribution[k]; !ok {
+			t.Errorf("stats attribution missing %q component: %+v", k, snap.Attribution)
+		}
+	}
+}
+
+func phaseNames(m map[string][]mapreduce.Span) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -61,6 +61,17 @@ type taskReq struct {
 	// *mapreduce.ShuffleLostError, and the engine falls back to the routed
 	// path instead of retrying here.
 	affine string
+	// enqueuedAt (unix nanos) is set at submit time for traced, non-frozen
+	// specs; serveWorker turns it into the result's queue-wait attribution.
+	enqueuedAt int64
+}
+
+// markEnqueued stamps the queue-entry time on traced requests. Untraced and
+// frozen-clock specs skip the clock read entirely.
+func (req *taskReq) markEnqueued() {
+	if req.spec.Trace != "" && !req.spec.Frozen {
+		req.enqueuedAt = time.Now().UnixNano()
+	}
 }
 
 type taskOutcome struct {
@@ -123,6 +134,7 @@ func (p *pool) submit(req *taskReq) error {
 	if p.live == 0 {
 		return fmt.Errorf("worker: no live workers (all crashed or none attached)")
 	}
+	req.markEnqueued()
 	p.queue <- req
 	return nil
 }
@@ -134,6 +146,7 @@ func (p *pool) submit(req *taskReq) error {
 // routed path.
 func (p *pool) executeOn(worker string, spec *mapreduce.TaskSpec) (*mapreduce.TaskResult, error) {
 	req := &taskReq{spec: spec, done: make(chan taskOutcome, 1), affine: worker}
+	req.markEnqueued()
 	p.mu.Lock()
 	w := p.workers[worker]
 	if p.closed || w == nil {
@@ -188,9 +201,25 @@ type frameOrErr struct {
 	err error
 }
 
+// helloInfo is what awaitHello extracts from a worker's hello frame: its
+// identity, shuffle endpoint, announced wire version, and the clock-offset
+// estimate (worker clock − coordinator clock) from the hello's WallNanos
+// sample. clockOK distinguishes a real estimate from an old build that sent
+// no clock sample.
+type helloInfo struct {
+	id          string
+	shuffleAddr string
+	version     uint8
+	clockOff    int64
+	clockOK     bool
+}
+
 type workerHandle struct {
 	id          string
 	shuffleAddr string // the worker's shuffle-receiver endpoint, "" if none
+	version     uint8  // wire version the worker's hello announced
+	clockOff    int64  // estimated worker−coordinator clock offset (nanos)
+	clockOK     bool   // whether clockOff is a real estimate
 	conn        *frameConn
 	closeConn   func()
 	closeOnce   sync.Once
@@ -200,13 +229,13 @@ type workerHandle struct {
 	gone        chan struct{} // closed by workerGone; unblocks the read loop
 }
 
-// attach registers a connected worker (its hello already consumed) and
-// starts its lease loop. shuffleAddr is the shuffle-receiver endpoint the
-// hello announced ("" for routed-only workers). closeConn force-closes the
-// underlying stream or process when the worker is dropped or the pool drains.
-func (p *pool) attach(id, shuffleAddr string, conn *frameConn, closeConn func()) {
+// attach registers a connected worker (its hello already consumed, described
+// by h) and starts its lease loop. closeConn force-closes the underlying
+// stream or process when the worker is dropped or the pool drains.
+func (p *pool) attach(h helloInfo, conn *frameConn, closeConn func()) {
 	w := &workerHandle{
-		id: id, shuffleAddr: shuffleAddr, conn: conn, closeConn: closeConn,
+		id: h.id, shuffleAddr: h.shuffleAddr, conn: conn, closeConn: closeConn,
+		version: h.version, clockOff: h.clockOff, clockOK: h.clockOK,
 		frames: make(chan frameOrErr),
 		// The affinity queue is deep enough for any realistic reducer count;
 		// executeOn turns a saturated queue into a lost shuffle rather than
@@ -218,7 +247,7 @@ func (p *pool) attach(id, shuffleAddr string, conn *frameConn, closeConn func())
 	p.live++
 	// Latest registration wins a contended id; the previous holder keeps
 	// running tasks from the shared queue but is no longer an affinity target.
-	p.workers[id] = w
+	p.workers[w.id] = w
 	p.wg.Add(1)
 	p.mu.Unlock()
 	go w.readLoop()
@@ -384,7 +413,23 @@ func (p *pool) retryOrFail(req *taskReq) {
 func (w *workerHandle) do(req *taskReq, lease time.Duration) (res *mapreduce.TaskResult, taskErr, workerErr error) {
 	w.seq++
 	seq := w.seq
-	if err := w.conn.write(&envelope{Kind: msgTask, Seq: seq, Spec: req.spec}); err != nil {
+	spec := req.spec
+	if spec.Trace != "" && w.version < traceMinVersion {
+		// The worker predates the trace extensions. Its binary decoder
+		// would reject the spec's trailing trace section, so send a
+		// stripped copy (gob peers would merely ignore the fields, but one
+		// rule for both codecs keeps the capability signal simple: the
+		// hello version). The task runs fine — just untraced on this worker.
+		stripped := *spec
+		stripped.Trace, stripped.TraceRun, stripped.TraceParent = "", "", 0
+		spec = &stripped
+	}
+	traced := req.spec.Trace != "" && !req.spec.Frozen
+	var sentAt int64
+	if traced {
+		sentAt = time.Now().UnixNano()
+	}
+	if err := w.conn.write(&envelope{Kind: msgTask, Seq: seq, Spec: spec}); err != nil {
 		return nil, nil, err
 	}
 	timer := time.NewTimer(lease)
@@ -426,6 +471,19 @@ func (w *workerHandle) do(req *taskReq, lease time.Duration) (res *mapreduce.Tas
 				}
 				if f.env.Result == nil {
 					return nil, nil, fmt.Errorf("result frame without payload")
+				}
+				if traced {
+					// Coordinator-local attribution for the engine's child
+					// spans: queue wait, send/receive stamps, and the
+					// worker's hello clock-offset estimate.
+					r := f.env.Result
+					r.RecvAtNanos = time.Now().UnixNano()
+					r.SentAtNanos = sentAt
+					if req.enqueuedAt != 0 && sentAt > req.enqueuedAt {
+						r.QueueNanos = sentAt - req.enqueuedAt
+					}
+					r.ClockOffsetNanos = w.clockOff
+					r.ClockOffsetOK = w.clockOK
 				}
 				return f.env.Result, nil, nil
 			default:

@@ -8,6 +8,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mapreduce"
 	"repro/internal/wire"
@@ -61,6 +62,13 @@ type envelope struct {
 	// when the worker cannot receive directly (stdio workers, direct shuffle
 	// disabled); the coordinator then keeps that worker off shuffle plans.
 	ShuffleAddr string
+	// WallNanos is the worker's wall clock when it sent its hello, in unix
+	// nanoseconds. The coordinator subtracts its own receive time to get a
+	// clock-offset estimate, used to align worker-side trace spans to the
+	// coordinator's timeline. Zero from old builds (gob drops unknown
+	// fields) means "unknown". Hello-only, so it needs no binary-frame
+	// encoding — hellos always travel as gob.
+	WallNanos int64
 	// Seq correlates a result with its task frame.
 	Seq uint64
 	// Spec is the task attempt to execute (task frames).
@@ -132,10 +140,22 @@ type frameConn struct {
 	w  io.Writer
 	mu sync.Mutex // guards w
 	// binary switches writes to the binary frame codec. The coordinator
-	// sets it after a hello announcing wireVersion ≥ 1; the worker side
-	// sets it upon receiving its first binary frame. Atomic because the
-	// reader flips it while writers (heartbeat ticker) read it.
+	// sets it after a hello announcing wireVersion ≥ binaryMinVersion; the
+	// worker side sets it upon receiving its first binary frame. Atomic
+	// because the reader flips it while writers (heartbeat ticker) read it.
 	binary atomic.Bool
+	// measureDecode makes read record each frame's decode timing below.
+	// Only the worker's serve loop sets it (tracing lifts the numbers into
+	// a decode span when a traced spec asks for one); the coordinator's
+	// read loops stay free of the extra clock reads.
+	measureDecode bool
+	// decodeStart/decodeDur/decodeBytes describe the most recent frame's
+	// decode: when it began (unix nanos), how long it took, and the frame
+	// payload size. Valid only between read calls on the single-owner read
+	// side, which is exactly how the serve loop consumes them.
+	decodeStart int64
+	decodeDur   time.Duration
+	decodeBytes int64
 }
 
 func newFrameConn(r io.Reader, w io.Writer) *frameConn {
@@ -205,10 +225,19 @@ func (c *frameConn) read() (*envelope, error) {
 	if _, err := io.ReadFull(c.r, payload); err != nil {
 		return nil, &FrameTruncatedError{Want: int(n), Err: err}
 	}
+	var t0 time.Time
+	if c.measureDecode {
+		t0 = time.Now()
+		c.decodeStart = t0.UnixNano()
+		c.decodeBytes = int64(n)
+	}
 	if isBinary {
 		env, err := decodeEnvelope(payload)
 		if err != nil {
 			return nil, fmt.Errorf("worker: decoding frame: %w", err)
+		}
+		if c.measureDecode {
+			c.decodeDur = time.Since(t0)
 		}
 		// The peer speaks binary, so answering in kind is always safe:
 		// sends on this connection switch over (no-op once flipped).
@@ -218,6 +247,9 @@ func (c *frameConn) read() (*envelope, error) {
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
 		return nil, fmt.Errorf("worker: decoding frame: %w", err)
+	}
+	if c.measureDecode {
+		c.decodeDur = time.Since(t0)
 	}
 	return &env, nil
 }

@@ -74,7 +74,10 @@ func (o ServeOptions) fill() ServeOptions {
 func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
 	opts = opts.fill()
 	conn := newFrameConn(r, w)
-	hello := &envelope{Kind: msgHello, ID: opts.ID}
+	// The serve loop is the read side that wants per-frame decode timing:
+	// traced specs lift it into a decode span.
+	conn.measureDecode = true
+	hello := &envelope{Kind: msgHello, ID: opts.ID, WallNanos: time.Now().UnixNano()}
 	if !mapreduce.WireGob() {
 		// Announce binary support; the coordinator answers with binary
 		// frames and this connection flips over on the first one received.
@@ -120,12 +123,23 @@ func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
 				return ErrChaosExit
 			}
 			reply := &envelope{Kind: msgResult, Seq: env.Seq}
+			var rec *spanRecorder
+			if env.Spec != nil && env.Spec.Trace != "" {
+				// The spec carries a trace context, which also proves the
+				// coordinator speaks wire version ≥ 2 and will decode the
+				// trailing span section of the result.
+				rec = &spanRecorder{frozen: env.Spec.Frozen}
+				rec.addMeasured(mapreduce.PhaseDecode, conn.decodeStart, conn.decodeDur, conn.decodeBytes)
+			}
 			if env.Spec == nil {
 				reply.Err = "task frame without spec"
-			} else if res, lost, err := executeSpec(env.Spec, opts.shuffle); err != nil {
+			} else if res, lost, err := executeSpec(env.Spec, opts.shuffle, rec); err != nil {
 				reply.Err = err.Error()
 				reply.ShuffleLost = lost
 			} else {
+				if rec != nil {
+					res.Spans = rec.spans
+				}
 				reply.Result = res
 			}
 			if err := conn.write(reply); err != nil {
@@ -141,29 +155,87 @@ func Serve(r io.Reader, w io.Writer, opts ServeOptions) error {
 	}
 }
 
+// spanRecorder accumulates a traced attempt's worker-side measurements in
+// deterministic emission order: decode, then recv (direct reduce), then
+// exec, then push (direct map). A nil recorder is valid and records nothing,
+// so untraced specs pay only nil checks; under a frozen coordinator clock
+// the spans keep their identity (phase, bytes) but zero every time field.
+type spanRecorder struct {
+	frozen bool
+	spans  []mapreduce.WorkerSpan
+}
+
+// start returns the measurement origin for add (zero when not recording).
+func (rec *spanRecorder) start() time.Time {
+	if rec == nil || rec.frozen {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// add records one span measured from t0 to now.
+func (rec *spanRecorder) add(phase string, t0 time.Time, bytes int64) {
+	if rec == nil {
+		return
+	}
+	ws := mapreduce.WorkerSpan{Phase: phase, Bytes: bytes}
+	if !rec.frozen {
+		ws.Start = t0.UnixNano()
+		ws.Dur = time.Since(t0)
+	}
+	rec.spans = append(rec.spans, ws)
+}
+
+// addMeasured records one span whose timing was captured elsewhere (the
+// frame decode, measured inside frameConn.read).
+func (rec *spanRecorder) addMeasured(phase string, startNanos int64, dur time.Duration, bytes int64) {
+	if rec == nil {
+		return
+	}
+	ws := mapreduce.WorkerSpan{Phase: phase, Bytes: bytes}
+	if !rec.frozen {
+		ws.Start = startNanos
+		ws.Dur = dur
+	}
+	rec.spans = append(rec.spans, ws)
+}
+
 // executeSpec runs one task attempt, wrapping mapreduce.ExecuteTask with the
 // direct-shuffle data plane when the spec carries a ShufflePlan: map attempts
 // push their buckets straight to the reducers' endpoints, reduce attempts
 // pull their missing buckets from this worker's receiver. lost=true flags a
 // recoverable lost shuffle (the coordinator replays over the routed path);
-// every other error is a deterministic task failure.
-func executeSpec(spec *mapreduce.TaskSpec, recv *shuffleReceiver) (res *mapreduce.TaskResult, lost bool, err error) {
+// every other error is a deterministic task failure. rec, when non-nil,
+// collects the attempt's worker-side spans.
+func executeSpec(spec *mapreduce.TaskSpec, recv *shuffleReceiver, rec *spanRecorder) (res *mapreduce.TaskResult, lost bool, err error) {
 	if spec.Shuffle == nil {
+		t0 := rec.start()
 		res, err = mapreduce.ExecuteTask(spec)
+		if err == nil {
+			rec.add(mapreduce.PhaseExec, t0, 0)
+		}
 		return res, false, err
 	}
 	switch spec.Phase {
 	case "map":
+		t0 := rec.start()
 		res, err = mapreduce.ExecuteTask(spec)
 		if err != nil {
 			return nil, false, err
 		}
+		rec.add(mapreduce.PhaseExec, t0, 0)
+		p0 := rec.start()
 		deliverBuckets(spec, res)
+		rec.add(mapreduce.PhasePush, p0, res.DirectBytes)
 		return res, false, nil
 	case "reduce":
-		return executeDirectReduce(spec, recv)
+		return executeDirectReduce(spec, recv, rec)
 	default:
+		t0 := rec.start()
 		res, err = mapreduce.ExecuteTask(spec)
+		if err == nil {
+			rec.add(mapreduce.PhaseExec, t0, 0)
+		}
 		return res, false, err
 	}
 }
@@ -206,7 +278,7 @@ func deliverBuckets(spec *mapreduce.TaskSpec, res *mapreduce.TaskResult) {
 // then runs the task core on the completed bucket set. Buckets the
 // coordinator shipped inline (retained by a map attempt whose push failed)
 // are used as-is; only true holes are awaited.
-func executeDirectReduce(spec *mapreduce.TaskSpec, recv *shuffleReceiver) (*mapreduce.TaskResult, bool, error) {
+func executeDirectReduce(spec *mapreduce.TaskSpec, recv *shuffleReceiver, rec *spanRecorder) (*mapreduce.TaskResult, bool, error) {
 	plan := spec.Shuffle
 	if recv == nil {
 		return nil, true, fmt.Errorf("worker: no shuffle receiver for direct reduce task %d", spec.Task)
@@ -229,17 +301,22 @@ func executeDirectReduce(spec *mapreduce.TaskSpec, recv *shuffleReceiver) (*mapr
 		if !spec.Frozen {
 			recvWall = time.Since(start)
 		}
+		var recvBytes int64
 		for t, payload := range got {
 			buckets[t] = payload
+			recvBytes += int64(len(payload))
 		}
+		rec.addMeasured(mapreduce.PhaseRecv, start.UnixNano(), recvWall, recvBytes)
 	}
 	filled := *spec
 	filled.Buckets = buckets
 	filled.Shuffle = nil
+	t0 := rec.start()
 	res, err := mapreduce.ExecuteTask(&filled)
 	if err != nil {
 		return nil, false, err
 	}
+	rec.add(mapreduce.PhaseExec, t0, 0)
 	res.Counters.RecvWall = recvWall
 	recv.forget(plan.Session, spec.Task)
 	return res, false, nil

@@ -94,16 +94,17 @@ func (e *SubprocessExecutor) spawn(i int) error {
 	proc := &workerProc{cmd: cmd, stdin: stdin}
 	e.procs = append(e.procs, proc)
 	conn := newFrameConn(stdout, stdin)
-	// Stdio workers never announce a shuffle receiver (their only channel is
-	// the coordinator pipe), so this executor always shuffles routed.
-	id, _, version, err := awaitHello(conn, e.cfg.LeaseTimeout)
+	h, err := awaitHello(conn, e.cfg.LeaseTimeout)
 	if err != nil {
 		return fmt.Errorf("worker sp-%d: %w", i, err)
 	}
-	if version >= wireVersion && !mapreduce.WireGob() {
+	if h.version >= binaryMinVersion && !mapreduce.WireGob() {
 		conn.binary.Store(true)
 	}
-	e.pool.attach(id, "", conn, func() {
+	// Stdio workers never announce a shuffle receiver (their only channel is
+	// the coordinator pipe), so this executor always shuffles routed.
+	h.shuffleAddr = ""
+	e.pool.attach(h, conn, func() {
 		// Closing stdin EOFs the worker's serve loop; a healthy worker
 		// exits on its own, a hung one is reaped (and killed) by Close.
 		// Closing stdout too unblocks the pool's read loop before the
@@ -115,10 +116,15 @@ func (e *SubprocessExecutor) spawn(i int) error {
 }
 
 // awaitHello reads the worker's hello frame, bounded by timeout. It returns
-// the announced worker id, shuffle-receiver endpoint ("" for routed-only
-// workers) and the binary wire version the worker speaks (0 for gob-only
-// peers — old builds, or workers running with STRATA_WIRE=gob).
-func awaitHello(conn *frameConn, timeout time.Duration) (id, shuffleAddr string, version uint8, err error) {
+// the announced worker identity: id, shuffle-receiver endpoint ("" for
+// routed-only workers), the binary wire version the worker speaks (0 for
+// gob-only peers — old builds, or workers running with STRATA_WIRE=gob), and
+// a clock-offset estimate from the hello's wall-clock sample (clockOK false
+// when the worker predates WallNanos). The estimate folds the hello's
+// one-way transit time into the offset, which is fine for its only use —
+// aligning trace spans — since transit is microseconds on the loopback and
+// pipe transports this protocol runs over.
+func awaitHello(conn *frameConn, timeout time.Duration) (helloInfo, error) {
 	type helloOrErr struct {
 		env *envelope
 		err error
@@ -130,15 +136,24 @@ func awaitHello(conn *frameConn, timeout time.Duration) (id, shuffleAddr string,
 	}()
 	select {
 	case <-time.After(timeout):
-		return "", "", 0, fmt.Errorf("timed out after %v waiting for hello", timeout)
+		return helloInfo{}, fmt.Errorf("timed out after %v waiting for hello", timeout)
 	case h := <-ch:
 		if h.err != nil {
-			return "", "", 0, fmt.Errorf("reading hello: %w", h.err)
+			return helloInfo{}, fmt.Errorf("reading hello: %w", h.err)
 		}
 		if h.env.Kind != msgHello {
-			return "", "", 0, fmt.Errorf("expected hello, got %v frame", h.env.Kind)
+			return helloInfo{}, fmt.Errorf("expected hello, got %v frame", h.env.Kind)
 		}
-		return h.env.ID, h.env.ShuffleAddr, h.env.WireVersion, nil
+		info := helloInfo{
+			id:          h.env.ID,
+			shuffleAddr: h.env.ShuffleAddr,
+			version:     h.env.WireVersion,
+		}
+		if h.env.WallNanos != 0 {
+			info.clockOff = h.env.WallNanos - time.Now().UnixNano()
+			info.clockOK = true
+		}
+		return info, nil
 	}
 }
 

