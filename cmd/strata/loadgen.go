@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/gen"
 	"repro/internal/serve"
 )
@@ -36,6 +37,11 @@ func cmdLoadgen(args []string) error {
 	window := fs.Duration("window", 5*time.Millisecond, "batching window (selfhost)")
 	maxBatch := fs.Int("max-batch", 64, "batch size cap (selfhost)")
 	compare := fs.Bool("compare", false, "also run the identical load at window=0 and report the ratio (selfhost only)")
+	mutate := fs.Float64("mutate", 0, "fraction of requests that are mutation batches (0..1; needs a -live daemon, selfhost enables live mode)")
+	mutBatch := fs.Int("mutate-batch", 8, "mutations per mutation request")
+	freshness := fs.Bool("freshness", false, "selfhost: compare standing-query freshness (subscribe + warm reads) vs recompute-per-query over the same mutation stream")
+	rounds := fs.Int("rounds", 32, "freshness mode: mutation rounds per arm")
+	staleness := fs.Int("staleness", 0, "staleness bound for live daemons (0 = default)")
 	jsonOut := fs.String("json", "", "write the report as JSON to this file")
 	subUsage(fs, "strata loadgen -addr host:port | -selfhost [flags]")
 	if err := fs.Parse(args); err != nil {
@@ -47,10 +53,23 @@ func cmdLoadgen(args []string) error {
 	if *compare && !*selfhost {
 		return fmt.Errorf("loadgen: -compare needs -selfhost (it restarts the daemon with window=0)")
 	}
+	if *mutate < 0 || *mutate > 1 {
+		return fmt.Errorf("loadgen: -mutate must be in [0,1]")
+	}
+	if *freshness {
+		if !*selfhost {
+			return fmt.Errorf("loadgen: -freshness needs -selfhost (it runs each arm on a fresh daemon)")
+		}
+		return runFreshnessCompare(*n, *seed, *slaves, *rounds, *mutBatch, *queries, *staleness, *jsonOut)
+	}
 
 	report := loadgenReport{
 		Clients: *clients, Requests: *requests, DistinctQueries: *queries,
-		Window: window.String(),
+		Window: window.String(), MutateRatio: *mutate,
+	}
+	load := loadSpec{
+		clients: *clients, requests: *requests, queries: *queries, seed: *seed,
+		mutate: *mutate, mutBatch: *mutBatch, popN: *n, schema: gen.AuthorSchema(),
 	}
 	if *selfhost {
 		fmt.Printf("generating population of %d (seed %d)...\n", *n, *seed)
@@ -60,6 +79,7 @@ func cmdLoadgen(args []string) error {
 			srv, err := serve.NewServer(serve.Config{
 				Population: pop, Slaves: *slaves, PartitionSeed: *seed,
 				Window: w, MaxBatch: *maxBatch,
+				Live: *mutate > 0, StalenessBound: *staleness,
 				NewCluster: newCluster, OnMetrics: recordMetrics,
 			})
 			if err != nil {
@@ -67,7 +87,7 @@ func cmdLoadgen(args []string) error {
 			}
 			ts := httptest.NewServer(srv.Handler())
 			defer ts.Close()
-			r, err := driveLoad(ts.URL, *clients, *requests, *queries, *seed)
+			r, err := driveLoad(ts.URL, load)
 			srv.BeginDrain()
 			srv.Drain()
 			return r, err
@@ -93,7 +113,7 @@ func cmdLoadgen(args []string) error {
 			}
 		}
 	} else {
-		r, err := driveLoad("http://"+*addr, *clients, *requests, *queries, *seed)
+		r, err := driveLoad("http://"+*addr, load)
 		if err != nil {
 			return err
 		}
@@ -121,6 +141,7 @@ type loadgenReport struct {
 	Requests        int         `json:"requests"`
 	DistinctQueries int         `json:"distinct_queries"`
 	Window          string      `json:"window"`
+	MutateRatio     float64     `json:"mutate_ratio,omitempty"`
 	Batched         *loadgenRun `json:"batched,omitempty"`
 	Unbatched       *loadgenRun `json:"unbatched,omitempty"`
 	Speedup         float64     `json:"qps_speedup,omitempty"`
@@ -136,9 +157,24 @@ type loadgenRun struct {
 	P90MS     float64         `json:"latency_p90_ms"`
 	P99MS     float64         `json:"latency_p99_ms"`
 	MaxMS     float64         `json:"latency_max_ms"`
+	Mutations int             `json:"mutations,omitempty"` // mutation requests (each -mutate-batch ops)
+	MutP50MS  float64         `json:"mutate_p50_ms,omitempty"`
+	MutP99MS  float64         `json:"mutate_p99_ms,omitempty"`
 	Stats     serve.Snapshot  `json:"daemon_stats"`
 	statsErr  error           // non-nil when /v1/stats could not be read
 	latencies []time.Duration // not serialized
+}
+
+// loadSpec parameterizes one driveLoad call.
+type loadSpec struct {
+	clients, requests, queries int
+	seed                       int64
+	// mutate makes that fraction of requests POST /v1/mutate batches of
+	// mutBatch operations (insert/update/delete over popN + schema).
+	mutate   float64
+	mutBatch int
+	popN     int
+	schema   *dataset.Schema
 }
 
 // loadQuery returns the i-th query template. Templates are distinct
@@ -148,27 +184,44 @@ func loadQuery(i int) string {
 	return fmt.Sprintf("nop >= %d : 5 ; nop < %d : 10", t, t)
 }
 
-// driveLoad fires requests concurrent POST /v1/sample calls from clients
-// goroutines against baseURL and aggregates latency.
-func driveLoad(baseURL string, clients, requests, queries int, seed int64) (loadgenRun, error) {
+// driveLoad fires spec.requests concurrent requests from spec.clients
+// goroutines against baseURL and aggregates latency. With spec.mutate > 0,
+// that fraction of requests are POST /v1/mutate batches (interleaved
+// deterministically by request index); the rest are POST /v1/sample.
+func driveLoad(baseURL string, spec loadSpec) (loadgenRun, error) {
 	client := &http.Client{Timeout: 2 * time.Minute}
 	type result struct {
-		d   time.Duration
-		err error
+		d        time.Duration
+		err      error
+		mutation bool
 	}
+	requests := spec.requests
 	results := make([]result, requests)
+	// isMutation spreads mutation requests evenly through the index space.
+	isMutation := func(i int) bool {
+		if spec.mutate <= 0 {
+			return false
+		}
+		return float64(i%100) < spec.mutate*100
+	}
 	next := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for c := 0; c < clients; c++ {
+	for c := 0; c < spec.clients; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				body, _ := json.Marshal(map[string]any{
-					"query": loadQuery(i % queries), "seed": seed, "nocache": true,
-				})
+				var err error
 				t0 := time.Now()
+				if isMutation(i) {
+					err = postMutations(client, baseURL, mutationBatch(i, spec.popN, spec.schema, spec.mutBatch))
+					results[i] = result{d: time.Since(t0), err: err, mutation: true}
+					continue
+				}
+				body, _ := json.Marshal(map[string]any{
+					"query": loadQuery(i % spec.queries), "seed": spec.seed, "nocache": true,
+				})
 				resp, err := client.Post(baseURL+"/v1/sample", "application/json", bytes.NewReader(body))
 				if err == nil {
 					_, _ = io.Copy(io.Discard, resp.Body)
@@ -189,9 +242,15 @@ func driveLoad(baseURL string, clients, requests, queries int, seed int64) (load
 	wall := time.Since(start)
 
 	run := loadgenRun{WallMS: wall.Milliseconds()}
+	var mutLat []time.Duration
 	for _, r := range results {
 		if r.err != nil {
 			run.Failed++
+			continue
+		}
+		if r.mutation {
+			run.Mutations++
+			mutLat = append(mutLat, r.d)
 			continue
 		}
 		run.OK++
@@ -203,6 +262,9 @@ func driveLoad(baseURL string, clients, requests, queries int, seed int64) (load
 				return run, fmt.Errorf("loadgen: %d/%d requests failed, first: %w", run.Failed, requests, r.err)
 			}
 		}
+	}
+	if len(mutLat) > 0 {
+		run.MutP50MS, _, run.MutP99MS = latPercentiles(mutLat)
 	}
 	sort.Slice(run.latencies, func(i, j int) bool { return run.latencies[i] < run.latencies[j] })
 	pct := func(p float64) float64 {
@@ -233,6 +295,10 @@ func printRun(label string, r loadgenRun) {
 		label, r.OK, r.Failed, r.WallMS, r.QPS)
 	fmt.Printf("  latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
 		r.P50MS, r.P90MS, r.P99MS, r.MaxMS)
+	if r.Mutations > 0 {
+		fmt.Printf("  mutations: %d requests, ms p50 %.2f p99 %.2f\n",
+			r.Mutations, r.MutP50MS, r.MutP99MS)
+	}
 	if r.statsErr == nil {
 		fmt.Printf("  daemon: %d passes for %d queries (%.1f distinct/pass, max %d), %d coalesced, %d single-flight\n",
 			r.Stats.Passes, r.Stats.Queries, r.Stats.BatchMean, r.Stats.BatchMax,

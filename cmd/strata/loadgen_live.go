@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/serve"
+)
+
+// Live-mode load generation: mutation batches mixed into the query stream
+// (-mutate) and the standing-query freshness benchmark (-freshness), which
+// compares subscribe-and-read-warm against recompute-per-query over the same
+// mutation stream. Both need a daemon running with -live.
+
+// mutationBatch builds one self-contained mutation batch for request i:
+// inserts fresh members (ids partitioned by request index so concurrent
+// clients never collide), updates originals, then deletes half of the fresh
+// inserts again — applied in order, so the batch is rejection-free and the
+// population stays near its starting size.
+func mutationBatch(i int, popN int, schema *dataset.Schema, size int) []map[string]any {
+	rng := rand.New(rand.NewSource(int64(i) + 1))
+	attrs := func() []int64 {
+		a := make([]int64, schema.NumFields())
+		for f := 0; f < schema.NumFields(); f++ {
+			fld := schema.Field(f)
+			a[f] = fld.Min + rng.Int63n(fld.Width())
+		}
+		return a
+	}
+	base := int64(1)<<40 + int64(i)*int64(size)
+	muts := make([]map[string]any, 0, size)
+	inserts := (size + 1) / 2
+	for j := 0; j < inserts; j++ {
+		muts = append(muts, map[string]any{"op": "insert", "id": base + int64(j), "attrs": attrs()})
+	}
+	for j := 0; len(muts) < size-inserts/2; j++ {
+		muts = append(muts, map[string]any{"op": "update", "id": rng.Int63n(int64(popN)), "attrs": attrs()})
+	}
+	for j := 0; j < inserts/2; j++ {
+		muts = append(muts, map[string]any{"op": "delete", "id": base + int64(j)})
+	}
+	return muts
+}
+
+// postMutations applies one batch and fails on any per-mutation rejection
+// (the batches are constructed to be rejection-free).
+func postMutations(client *http.Client, baseURL string, muts []map[string]any) error {
+	body, _ := json.Marshal(map[string]any{"mutations": muts})
+	resp, err := client.Post(baseURL+"/v1/mutate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("mutate: status %d", resp.StatusCode)
+	}
+	var applied struct {
+		Applied  int   `json:"applied"`
+		Rejected []any `json:"rejected"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&applied); err != nil {
+		return err
+	}
+	if len(applied.Rejected) > 0 {
+		return fmt.Errorf("mutate: %d of %d mutations rejected", len(applied.Rejected), len(muts))
+	}
+	return nil
+}
+
+// freshnessRun is one arm of the -freshness comparison.
+type freshnessRun struct {
+	Rounds       int     `json:"rounds"`
+	MutPerRound  int     `json:"mutations_per_round"`
+	FreshReads   int     `json:"fresh_reads"`
+	WallMS       int64   `json:"wall_ms"`
+	MutP50MS     float64 `json:"mutate_p50_ms"`
+	MutP99MS     float64 `json:"mutate_p99_ms"`
+	ReadMeanMS   float64 `json:"read_mean_ms"`
+	ReadP50MS    float64 `json:"read_p50_ms"`
+	ReadP99MS    float64 `json:"read_p99_ms"`
+	LiveHits     int64   `json:"live_hits"`
+	Passes       int64   `json:"passes"`
+	Repairs      int64   `json:"repairs,omitempty"`
+	MaxStaleness int64   `json:"max_staleness,omitempty"`
+}
+
+// runFreshness drives one arm: `rounds` mutation batches of `mutBatch`
+// against a fresh in-process live daemon, reading a current answer for each
+// of `queries` templates after every round. With standing=true the templates
+// are subscribed first, so reads ride the warm incremental reservoirs; with
+// standing=false every read is an ad-hoc nocache query — a full engine pass.
+func runFreshness(pop *dataset.Relation, slaves int, seed int64, rounds, mutBatch, queries int, standing bool, staleness int) (freshnessRun, error) {
+	srv, err := serve.NewServer(serve.Config{
+		Population: pop, Slaves: slaves, PartitionSeed: seed,
+		Window: 0, Live: true, StalenessBound: staleness,
+		NewCluster: newCluster, OnMetrics: recordMetrics,
+	})
+	if err != nil {
+		return freshnessRun{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	if standing {
+		for qi := 0; qi < queries; qi++ {
+			body, _ := json.Marshal(map[string]any{
+				"query": loadQuery(qi), "seed": seed,
+				// A huge mutation trigger: the subscription registers (and
+				// maintains) the standing query but never pushes — this arm
+				// measures the warm read path alone.
+				"every_mutations": int64(1) << 40,
+			})
+			resp, err := client.Post(ts.URL+"/v1/subscribe", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return freshnessRun{}, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return freshnessRun{}, fmt.Errorf("subscribe: status %d", resp.StatusCode)
+			}
+		}
+	}
+
+	run := freshnessRun{Rounds: rounds, MutPerRound: mutBatch}
+	var mutLat, readLat []time.Duration
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		t0 := time.Now()
+		if err := postMutations(client, ts.URL, mutationBatch(r, pop.Len(), pop.Schema(), mutBatch)); err != nil {
+			return run, err
+		}
+		mutLat = append(mutLat, time.Since(t0))
+		for qi := 0; qi < queries; qi++ {
+			req := map[string]any{"query": loadQuery(qi), "seed": seed}
+			if !standing {
+				req["nocache"] = true
+			}
+			body, _ := json.Marshal(req)
+			t1 := time.Now()
+			resp, err := client.Post(ts.URL+"/v1/sample", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return run, err
+			}
+			var ans struct {
+				Live bool `json:"live"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&ans)
+			resp.Body.Close()
+			if err != nil {
+				return run, err
+			}
+			if ans.Live != standing {
+				return run, fmt.Errorf("round %d query %d: live=%v, want %v", r, qi, ans.Live, standing)
+			}
+			readLat = append(readLat, time.Since(t1))
+			run.FreshReads++
+		}
+	}
+	run.WallMS = time.Since(start).Milliseconds()
+	run.MutP50MS, _, run.MutP99MS = latPercentiles(mutLat)
+	run.ReadP50MS, run.ReadMeanMS, run.ReadP99MS = latPercentiles(readLat)
+
+	srv.BeginDrain()
+	srv.Drain()
+	snap := srv.Stats()
+	run.LiveHits = snap.LiveHits
+	run.Passes = snap.Passes
+	if snap.Live != nil {
+		run.Repairs = snap.Live.Repairs
+		run.MaxStaleness = snap.Live.MaxStaleness
+	}
+	return run, nil
+}
+
+// latPercentiles returns (p50, mean, p99) in milliseconds.
+func latPercentiles(lat []time.Duration) (p50, mean, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	at := func(p float64) float64 {
+		return float64(sorted[int(p*float64(len(sorted)-1))].Microseconds()) / 1000
+	}
+	return at(0.50), float64(sum.Microseconds()) / float64(len(sorted)) / 1000, at(0.99)
+}
+
+// freshnessReport is the -freshness -json output shape: the same mutation
+// stream priced two ways. Standing reads come from incrementally maintained
+// reservoirs (O(sample) per mutation, snapshot per read); recompute reads pay
+// a full engine pass each. ReadSpeedup is recompute mean read latency over
+// standing mean read latency.
+type freshnessReport struct {
+	Population  int          `json:"population"`
+	Queries     int          `json:"distinct_queries"`
+	Standing    freshnessRun `json:"standing"`
+	Recompute   freshnessRun `json:"recompute"`
+	ReadSpeedup float64      `json:"read_speedup"`
+}
+
+// runFreshnessCompare runs both arms of the freshness benchmark on fresh
+// in-process live daemons and reports the comparison.
+func runFreshnessCompare(n int, seed int64, slaves, rounds, mutBatch, queries, staleness int, jsonOut string) error {
+	fmt.Printf("generating population of %d (seed %d)...\n", n, seed)
+	pop := gen.Population(n, seed)
+	standing, err := runFreshness(pop, slaves, seed, rounds, mutBatch, queries, true, staleness)
+	if err != nil {
+		return err
+	}
+	printFreshness("standing", standing)
+	// Each arm's daemon partitions the relation into its own split copies, so
+	// the first arm's mutations never leak into the second.
+	recompute, err := runFreshness(pop, slaves, seed, rounds, mutBatch, queries, false, staleness)
+	if err != nil {
+		return err
+	}
+	printFreshness("recompute", recompute)
+	report := freshnessReport{
+		Population: pop.Len(), Queries: queries,
+		Standing: standing, Recompute: recompute,
+	}
+	if standing.ReadMeanMS > 0 {
+		report.ReadSpeedup = recompute.ReadMeanMS / standing.ReadMeanMS
+		fmt.Printf("\nstanding-query freshness: %.0fx cheaper per fresh read (%.3fms warm vs %.3fms recompute)\n",
+			report.ReadSpeedup, standing.ReadMeanMS, recompute.ReadMeanMS)
+	}
+	if jsonOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", jsonOut)
+	}
+	return nil
+}
+
+func printFreshness(label string, r freshnessRun) {
+	fmt.Printf("\n[%s] %d rounds x %d mutations, %d fresh reads in %dms\n",
+		label, r.Rounds, r.MutPerRound, r.FreshReads, r.WallMS)
+	fmt.Printf("  mutate ms: p50 %.2f p99 %.2f   read ms: mean %.3f p50 %.3f p99 %.3f\n",
+		r.MutP50MS, r.MutP99MS, r.ReadMeanMS, r.ReadP50MS, r.ReadP99MS)
+	fmt.Printf("  daemon: %d live hits, %d passes, %d repairs (max staleness %d)\n",
+		r.LiveHits, r.Passes, r.Repairs, r.MaxStaleness)
+}

@@ -35,6 +35,8 @@ func cmdServe(args []string) error {
 	qps := fs.Float64("qps", 0, "per-tenant admission rate in queries/second (0 = unlimited)")
 	burst := fs.Int("burst", 16, "per-tenant token bucket capacity")
 	noPrune := fs.Bool("no-prune", false, "disable box-decomposition split pre-filtering")
+	liveMode := fs.Bool("live", false, "mutable population: enable /v1/mutate + /v1/subscribe and warm standing-query answers")
+	staleness := fs.Int("staleness", 0, "uncompensated deletions per stratum before reservoir repair (0 = default 64; needs -live)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget on SIGTERM/SIGINT")
 	subUsage(fs, "strata serve [flags]")
 	if err := fs.Parse(args); err != nil {
@@ -61,18 +63,20 @@ func cmdServe(args []string) error {
 	}
 
 	cfg := serve.Config{
-		Population:    pop,
-		Slaves:        *slaves,
-		Layout:        strategy,
-		PartitionSeed: *seed,
-		Window:        *window,
-		MaxBatch:      *maxBatch,
-		CacheSize:     *cacheSize,
-		QuotaQPS:      *qps,
-		QuotaBurst:    *burst,
-		NoPrune:       *noPrune,
-		NewCluster:    newCluster,
-		OnMetrics:     recordMetrics,
+		Population:     pop,
+		Slaves:         *slaves,
+		Layout:         strategy,
+		PartitionSeed:  *seed,
+		Window:         *window,
+		MaxBatch:       *maxBatch,
+		CacheSize:      *cacheSize,
+		QuotaQPS:       *qps,
+		QuotaBurst:     *burst,
+		NoPrune:        *noPrune,
+		Live:           *liveMode,
+		StalenessBound: *staleness,
+		NewCluster:     newCluster,
+		OnMetrics:      recordMetrics,
 	}
 	if globalObs.tracer != nil {
 		// -trace turns on end-to-end tracing: the daemon's request/batch/pass
@@ -102,9 +106,13 @@ func cmdServe(args []string) error {
 	slog.Info("strata serve listening",
 		"addr", ln.Addr().String(), "population", pop.Len(), "slaves", *slaves,
 		"layout", strategy.String(), "window", window.String(), "max_batch", *maxBatch,
-		"cache", *cacheSize, "qps", *qps, "prune", !*noPrune)
-	fmt.Printf("serving population of %d on http://%s (window %v, max batch %d)\n",
-		pop.Len(), ln.Addr().String(), *window, *maxBatch)
+		"cache", *cacheSize, "qps", *qps, "prune", !*noPrune, "live", *liveMode)
+	mode := ""
+	if *liveMode {
+		mode = ", live"
+	}
+	fmt.Printf("serving population of %d on http://%s (window %v, max batch %d%s)\n",
+		pop.Len(), ln.Addr().String(), *window, *maxBatch, mode)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()

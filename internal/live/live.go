@@ -1,0 +1,366 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+)
+
+// Op is a mutation-log operation.
+type Op uint8
+
+const (
+	// OpInsert adds a new member (Mutation.Tuple, with a fresh ID).
+	OpInsert Op = iota
+	// OpDelete removes the member with Mutation.ID.
+	OpDelete
+	// OpUpdate replaces the attributes of the member with Mutation.Tuple.ID;
+	// when the new attributes move the member to a different stratum of a
+	// registered query, the update is handled as delete + insert.
+	OpUpdate
+)
+
+// String names the operation ("insert", "delete", "update").
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// ParseOp maps an operation name back to the Op, for wire decoding.
+func ParseOp(name string) (Op, error) {
+	for _, o := range []Op{OpInsert, OpDelete, OpUpdate} {
+		if o.String() == name {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("live: unknown mutation op %q (want insert, delete or update)", name)
+}
+
+// Mutation is one entry of the mutation log.
+type Mutation struct {
+	Op    Op
+	Tuple dataset.Tuple // Insert/Update: the full new tuple
+	ID    int64         // Delete: the member to remove
+}
+
+// Rejection reports one mutation of a batch that could not be applied
+// (unknown ID, duplicate ID, schema violation). The rest of the batch is
+// unaffected.
+type Rejection struct {
+	Index int    `json:"index"`
+	Err   string `json:"error"`
+}
+
+// Applied summarizes one Apply batch.
+type Applied struct {
+	Applied  int         `json:"applied"`
+	Inserts  int         `json:"inserts"`
+	Deletes  int         `json:"deletes"`
+	Updates  int         `json:"updates"`
+	Repairs  int         `json:"repairs,omitempty"`
+	Rejected []Rejection `json:"rejected,omitempty"`
+	// Seq is the population's total applied-mutation count after this batch —
+	// the mutation epoch ad-hoc query caching keys on.
+	Seq int64 `json:"seq"`
+}
+
+// Config configures a live population.
+type Config struct {
+	// StalenessBound is the maximum uncompensated deletions (d1+d2) any
+	// stratum reservoir tolerates before it is repaired from the resident
+	// splits. Defaults to 64. Lower bounds repair more often (higher scan
+	// cost) but keep the sample deficit smaller.
+	StalenessBound int
+}
+
+// tupleLoc addresses one member inside the resident splits.
+type tupleLoc struct {
+	split int
+	idx   int
+}
+
+// Population is a mutable population with registered standing SSD queries.
+// It owns the resident splits handed to it at construction: mutations edit
+// them in place, so engine passes run over current data, and stratum repairs
+// rescan them. All methods are safe for concurrent use; mutations serialize
+// behind a write lock while snapshots and pass execution share a read lock.
+type Population struct {
+	mu      sync.RWMutex
+	schema  *dataset.Schema
+	splits  []dataset.Split
+	loc     map[int64]tupleLoc
+	next    int // round-robin insert target
+	bound   int
+	queries map[string]*Standing
+
+	seq atomic.Int64 // total applied mutations, the mutation epoch
+
+	// Counters (under mu).
+	inserts, deletes, updates, rejected int64
+	repairs, repairScanned              int64
+	maxStaleness                        int64
+	maintainNanos                       mapreduce.Histogram // per Apply batch
+	maintainMuts                        int64
+	repairNanos                         mapreduce.Histogram
+}
+
+// NewPopulation takes ownership of the resident splits (typically the ones
+// the serve daemon partitioned at startup) and returns a mutable population
+// over them. The splits' union must have unique IDs.
+func NewPopulation(schema *dataset.Schema, splits []dataset.Split, cfg Config) (*Population, error) {
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("live: population needs at least one split")
+	}
+	if cfg.StalenessBound <= 0 {
+		cfg.StalenessBound = 64
+	}
+	p := &Population{
+		schema:  schema,
+		splits:  splits,
+		loc:     make(map[int64]tupleLoc),
+		bound:   cfg.StalenessBound,
+		queries: make(map[string]*Standing),
+	}
+	for si, split := range splits {
+		for i := range split {
+			id := split[i].ID
+			if _, dup := p.loc[id]; dup {
+				return nil, fmt.Errorf("live: duplicate tuple id %d across splits", id)
+			}
+			p.loc[id] = tupleLoc{split: si, idx: i}
+		}
+	}
+	return p, nil
+}
+
+// Len returns the current population size.
+func (p *Population) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.loc)
+}
+
+// Seq returns the mutation epoch: the total number of applied mutations.
+func (p *Population) Seq() int64 { return p.seq.Load() }
+
+// StalenessBound returns the configured repair trigger.
+func (p *Population) StalenessBound() int { return p.bound }
+
+// AcquireSplits returns the resident splits for an engine pass plus a
+// release function. The splits are read-locked until released: mutations
+// wait, which is what keeps a pass's view consistent. Standing queries never
+// need this — their answers come from the warm reservoirs.
+func (p *Population) AcquireSplits() ([]dataset.Split, func()) {
+	p.mu.RLock()
+	return p.splits, p.mu.RUnlock
+}
+
+// Contains reports whether a member with the ID exists.
+func (p *Population) Contains(id int64) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.loc[id]
+	return ok
+}
+
+// Apply ingests one mutation-log batch. Invalid mutations are rejected
+// individually (reported in the result); valid ones apply in order, each
+// updating the resident splits and every registered standing query. Repairs
+// triggered by the staleness bound run inline and are counted in the result.
+func (p *Population) Apply(muts []Mutation) Applied {
+	start := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	repairsBefore := p.repairs
+	var res Applied
+	for i := range muts {
+		if err := p.applyOne(&muts[i]); err != nil {
+			p.rejected++
+			res.Rejected = append(res.Rejected, Rejection{Index: i, Err: err.Error()})
+			continue
+		}
+		res.Applied++
+		switch muts[i].Op {
+		case OpInsert:
+			res.Inserts++
+		case OpDelete:
+			res.Deletes++
+		case OpUpdate:
+			res.Updates++
+		}
+	}
+	p.inserts += int64(res.Inserts)
+	p.deletes += int64(res.Deletes)
+	p.updates += int64(res.Updates)
+	res.Repairs = int(p.repairs - repairsBefore)
+	res.Seq = p.seq.Add(int64(res.Applied))
+	p.maintainNanos.Observe(time.Since(start).Nanoseconds())
+	p.maintainMuts += int64(res.Applied)
+	return res
+}
+
+// applyOne applies a single mutation under the write lock.
+func (p *Population) applyOne(m *Mutation) error {
+	switch m.Op {
+	case OpInsert:
+		t := m.Tuple
+		if err := t.ValidFor(p.schema); err != nil {
+			return err
+		}
+		if _, dup := p.loc[t.ID]; dup {
+			return fmt.Errorf("live: insert of duplicate id %d", t.ID)
+		}
+		si := p.next
+		p.next = (p.next + 1) % len(p.splits)
+		p.splits[si] = append(p.splits[si], t)
+		p.loc[t.ID] = tupleLoc{split: si, idx: len(p.splits[si]) - 1}
+		for _, st := range p.queries {
+			st.insert(t)
+		}
+	case OpDelete:
+		l, ok := p.loc[m.ID]
+		if !ok {
+			return fmt.Errorf("live: delete of unknown id %d", m.ID)
+		}
+		old := p.splits[l.split][l.idx]
+		p.removeAt(l)
+		for _, st := range p.queries {
+			st.remove(p, old)
+		}
+	case OpUpdate:
+		t := m.Tuple
+		if err := t.ValidFor(p.schema); err != nil {
+			return err
+		}
+		l, ok := p.loc[t.ID]
+		if !ok {
+			return fmt.Errorf("live: update of unknown id %d", t.ID)
+		}
+		old := p.splits[l.split][l.idx]
+		p.splits[l.split][l.idx] = t
+		for _, st := range p.queries {
+			st.update(p, old, t)
+		}
+	default:
+		return fmt.Errorf("live: unknown op %v", m.Op)
+	}
+	return nil
+}
+
+// removeAt swap-removes the member at l from its split, fixing the moved
+// member's location index.
+func (p *Population) removeAt(l tupleLoc) {
+	split := p.splits[l.split]
+	last := len(split) - 1
+	delete(p.loc, split[l.idx].ID)
+	if l.idx != last {
+		split[l.idx] = split[last]
+		p.loc[split[l.idx].ID] = l
+	}
+	split[last] = dataset.Tuple{}
+	p.splits[l.split] = split[:last]
+}
+
+// Register compiles the query and builds its per-stratum reservoirs with one
+// scan of the resident splits (the only O(population) step of a standing
+// query's lifetime outside repairs). A key already registered is returned
+// as-is when the seed matches, and rejected otherwise — subscribers to the
+// same canonical query share one state.
+func (p *Population) Register(key string, q *query.SSD, seed int64) (*Standing, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.queries[key]; ok {
+		if st.Seed != seed {
+			return nil, fmt.Errorf("live: query %q already registered with seed %d", key, st.Seed)
+		}
+		return st, nil
+	}
+	st, err := newStanding(key, q, seed, p.schema)
+	if err != nil {
+		return nil, err
+	}
+	for si := range p.splits {
+		split := p.splits[si]
+		for i := range split {
+			if k := query.MatchStratum(st.preds, &split[i]); k >= 0 {
+				s := st.strata[k]
+				s.members++
+				s.res.Add(split[i])
+			}
+		}
+	}
+	p.queries[key] = st
+	return st, nil
+}
+
+// Unregister drops a standing query. It reports whether the key existed.
+func (p *Population) Unregister(key string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.queries[key]
+	delete(p.queries, key)
+	return ok
+}
+
+// QueryVersion returns the standing query's version — bumped once per
+// mutation that touched any of its strata — or 0 for an unknown key.
+func (p *Population) QueryVersion(key string) int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if st, ok := p.queries[key]; ok {
+		return st.version
+	}
+	return 0
+}
+
+// StratumMeta describes one stratum of a snapshot.
+type StratumMeta struct {
+	// Members is the live |σ_k(R)|.
+	Members int `json:"members"`
+	// SampleSize is the current reservoir size — min(f_k, members) minus any
+	// holes awaiting compensation or repair.
+	SampleSize int `json:"sample_size"`
+	// Staleness is d1+d2, the uncompensated deletions.
+	Staleness int `json:"staleness"`
+	// Version counts mutations that touched this stratum (its cache epoch).
+	Version int64 `json:"version"`
+	// Repairs counts rebuilds of this stratum's reservoir.
+	Repairs int64 `json:"repairs"`
+}
+
+// Snapshot returns the standing query's warm answer — a copy, never aliased
+// by later mutations — with per-stratum metadata and the query version.
+func (p *Population) Snapshot(key string) (*query.Answer, []StratumMeta, int64, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	st, ok := p.queries[key]
+	if !ok {
+		return nil, nil, 0, false
+	}
+	ans := query.NewAnswer(len(st.strata))
+	metas := make([]StratumMeta, len(st.strata))
+	for k, s := range st.strata {
+		ans.Strata[k] = append([]dataset.Tuple(nil), s.res.Sample()...)
+		metas[k] = StratumMeta{
+			Members:    s.members,
+			SampleSize: len(ans.Strata[k]),
+			Staleness:  s.d1 + s.d2,
+			Version:    s.version,
+			Repairs:    s.repairs,
+		}
+	}
+	return ans, metas, st.version, true
+}

@@ -1,0 +1,143 @@
+package live
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mapreduce"
+)
+
+// Stats is a snapshot of the live subsystem's counters, rendered into the
+// serve daemon's /v1/stats ("live" section) and /metrics (strata_live_*).
+type Stats struct {
+	Population int   `json:"population"`
+	Queries    int   `json:"standing_queries"`
+	Seq        int64 `json:"mutation_seq"`
+	Inserts    int64 `json:"inserts"`
+	Deletes    int64 `json:"deletes"`
+	Updates    int64 `json:"updates"`
+	Rejected   int64 `json:"rejected"`
+	// Repairs counts stratum reservoir rebuilds; RepairScanned the tuples
+	// examined doing them — the cost the staleness bound trades against.
+	Repairs       int64 `json:"repairs"`
+	RepairScanned int64 `json:"repair_scanned"`
+	// MaxStaleness is the highest uncompensated-deletion count any stratum
+	// reached (never above the bound; repair fires when it is hit).
+	MaxStaleness   int64 `json:"max_staleness"`
+	StalenessBound int   `json:"staleness_bound"`
+	// CurStaleness is the current worst staleness across all strata.
+	CurStaleness int64 `json:"cur_staleness"`
+	// NsPerMutation is mean maintenance time per applied mutation across all
+	// registered queries — the O(sample) incremental cost.
+	NsPerMutation float64 `json:"ns_per_mutation,omitempty"`
+	// RepairP99Usec summarizes repair cost.
+	RepairP99Usec int64 `json:"repair_p99_us,omitempty"`
+}
+
+// Stats snapshots the counters.
+func (p *Population) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	s := Stats{
+		Population:     len(p.loc),
+		Queries:        len(p.queries),
+		Seq:            p.seq.Load(),
+		Inserts:        p.inserts,
+		Deletes:        p.deletes,
+		Updates:        p.updates,
+		Rejected:       p.rejected,
+		Repairs:        p.repairs,
+		RepairScanned:  p.repairScanned,
+		MaxStaleness:   p.maxStaleness,
+		StalenessBound: p.bound,
+	}
+	for _, st := range p.queries {
+		for _, sr := range st.strata {
+			if d := int64(sr.d1 + sr.d2); d > s.CurStaleness {
+				s.CurStaleness = d
+			}
+		}
+	}
+	if p.maintainMuts > 0 {
+		s.NsPerMutation = float64(p.maintainNanos.Sum()) / float64(p.maintainMuts)
+	}
+	if p.repairNanos.Count() > 0 {
+		s.RepairP99Usec = p.repairNanos.Quantile(0.99) / 1000
+	}
+	return s
+}
+
+// WritePrometheus renders the live counters in the Prometheus text format
+// under the strata_live_* namespace.
+func (p *Population) WritePrometheus(w io.Writer) error {
+	s := p.Stats()
+	p.mu.RLock()
+	maintain := p.maintainNanos
+	repair := p.repairNanos
+	p.mu.RUnlock()
+
+	if _, err := fmt.Fprintf(w, "# HELP strata_live_mutations_total Applied mutations by operation.\n# TYPE strata_live_mutations_total counter\n"); err != nil {
+		return err
+	}
+	for _, c := range []struct {
+		op string
+		v  int64
+	}{{"insert", s.Inserts}, {"delete", s.Deletes}, {"update", s.Updates}} {
+		if _, err := fmt.Fprintf(w, "strata_live_mutations_total{op=%q} %d\n", c.op, c.v); err != nil {
+			return err
+		}
+	}
+	counters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"strata_live_rejected_total", "Mutations rejected (unknown, duplicate or invalid member).", s.Rejected},
+		{"strata_live_repairs_total", "Stratum reservoir repairs triggered by the staleness bound.", s.Repairs},
+		{"strata_live_repair_scanned_total", "Tuples scanned by reservoir repairs.", s.RepairScanned},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	gauges := []struct {
+		name, help string
+		v          int64
+	}{
+		{"strata_live_population", "Current population size.", int64(s.Population)},
+		{"strata_live_standing_queries", "Registered standing queries.", int64(s.Queries)},
+		{"strata_live_mutation_seq", "Total applied mutations (the mutation epoch).", s.Seq},
+		{"strata_live_staleness", "Current worst uncompensated-deletion count across strata.", s.CurStaleness},
+		{"strata_live_staleness_max", "Highest staleness any stratum reached.", s.MaxStaleness},
+		{"strata_live_staleness_bound", "Configured repair trigger.", int64(s.StalenessBound)},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v); err != nil {
+			return err
+		}
+	}
+	if err := writeHistogram(w, "strata_live_maintain_nanos", "Mutation-batch maintenance time across registered queries (ns).", maintain); err != nil {
+		return err
+	}
+	return writeHistogram(w, "strata_live_repair_nanos", "Per-repair reservoir rebuild time (ns).", repair)
+}
+
+// writeHistogram renders one histogram in the Prometheus text format
+// (cumulative buckets); the same shape internal/serve uses.
+func writeHistogram(w io.Writer, name, help string, h mapreduce.Histogram) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count())
+	return err
+}

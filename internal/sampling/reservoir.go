@@ -150,6 +150,65 @@ func (r *Reservoir[T]) uniform() float64 {
 	}
 }
 
+// Forget removes the first item satisfying match from the reservoir and
+// reports whether one was removed. The slot is back-filled with the last
+// item (sample order is irrelevant to a simple random sample), the stream
+// count is untouched, and the Algorithm L skip state stays valid for the
+// continuation of the stream.
+//
+// Statistically, removing a specific population member from a simple random
+// sample leaves a simple random sample of the remaining population: if the
+// member was sampled, the k−1 survivors are an SRS of size k−1 over the
+// other members; if it was not, the untouched sample already is one.
+// TestForgetKeepsUniformity proves the inclusion probabilities stay uniform.
+// Forget is the deletion half of dynamic-set maintenance (see internal/live);
+// the insertion half compensates the hole via Readmit. A caller that instead
+// offers further stream items with Add after a Forget gets refill-on-arrival
+// semantics (the reservoir looks under-full, so the next items are accepted
+// outright), which over-represents them — dynamic sets must pair Forget with
+// Readmit-based compensation to stay uniform.
+func (r *Reservoir[T]) Forget(match func(T) bool) bool {
+	for i := range r.items {
+		if match(r.items[i]) {
+			last := len(r.items) - 1
+			r.items[i] = r.items[last]
+			var zero T
+			r.items[last] = zero
+			r.items = r.items[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// Replace swaps the first item satisfying match for item, in place, and
+// reports whether a swap happened. It exists for attribute updates that keep
+// the member in the same stratum: the member's identity (and hence the
+// sample's distribution) is unchanged, only its payload is refreshed.
+func (r *Reservoir[T]) Replace(match func(T) bool, item T) bool {
+	for i := range r.items {
+		if match(r.items[i]) {
+			r.items[i] = item
+			return true
+		}
+	}
+	return false
+}
+
+// Readmit appends an item into a hole left by Forget without consuming the
+// stream position or the Algorithm L skip state — the random-pairing
+// compensation step: a caller that pairs each insertion against an earlier
+// uncompensated deletion (choosing the in-sample branch with probability
+// d1/(d1+d2)) keeps the reservoir a uniform sample of the evolving set.
+// It panics when the reservoir is already at capacity, which would mean the
+// caller's deletion/insertion bookkeeping is broken.
+func (r *Reservoir[T]) Readmit(item T) {
+	if len(r.items) >= r.k {
+		panic("sampling: Readmit into a full reservoir")
+	}
+	r.items = append(r.items, item)
+}
+
 // Seen returns the number of items offered so far.
 func (r *Reservoir[T]) Seen() int64 { return r.seen }
 

@@ -350,3 +350,166 @@ func TestDrawWithoutReplacement(t *testing.T) {
 		t.Fatal("over-draw should return everything")
 	}
 }
+
+// TestForgetKeepsUniformity is the deletion-correctness proof for dynamic
+// sets: fill a reservoir over N members, Forget a fixed set of deleted
+// members, and check over many trials that every survivor is included
+// equally often. Removing a specific member from a simple random sample
+// must leave a simple random sample of the survivors.
+func TestForgetKeepsUniformity(t *testing.T) {
+	const (
+		n      = 40
+		k      = 10
+		trials = 4000
+	)
+	deleted := map[int]bool{}
+	for _, d := range []int{0, 5, 11, 17, 23, 29, 31, 38} {
+		deleted[d] = true
+	}
+	rng := rand.New(rand.NewSource(42))
+	survivors := make([]int, 0, n-len(deleted))
+	for v := 0; v < n; v++ {
+		if !deleted[v] {
+			survivors = append(survivors, v)
+		}
+	}
+	counts := make([]int64, len(survivors))
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir[int](k, rng)
+		for v := 0; v < n; v++ {
+			r.Add(v)
+		}
+		for d := range deleted {
+			r.Forget(func(v int) bool { return v == d })
+		}
+		for _, v := range r.Sample() {
+			if deleted[v] {
+				t.Fatalf("forgotten value %d still sampled", v)
+			}
+		}
+		for i, s := range survivors {
+			for _, v := range r.Sample() {
+				if v == s {
+					counts[i]++
+				}
+			}
+		}
+	}
+	p, err := stats.ChiSquareUniformP(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("survivor inclusion not uniform after Forget: p = %g, counts %v", p, counts)
+	}
+}
+
+// TestReadmitCompensationUniform runs the random-pairing loop the live
+// package uses — delete marks a hole (d1) or a miss (d2), the next insert
+// fills the hole with probability d1/(d1+d2) via Readmit — and checks the
+// final sample is uniform over the final membership.
+func TestReadmitCompensationUniform(t *testing.T) {
+	const (
+		n      = 30 // initial members 0..n-1
+		k      = 8
+		trials = 4000
+	)
+	rng := rand.New(rand.NewSource(7))
+	// Deterministic script: delete 6 of the originals, insert 6 newcomers.
+	dels := []int{2, 9, 14, 20, 25, 28}
+	inserts := []int{100, 101, 102, 103, 104, 105}
+	final := make([]int, 0, n)
+	isDel := map[int]bool{}
+	for _, d := range dels {
+		isDel[d] = true
+	}
+	for v := 0; v < n; v++ {
+		if !isDel[v] {
+			final = append(final, v)
+		}
+	}
+	final = append(final, inserts...)
+	counts := make([]int64, len(final))
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir[int](k, rng)
+		for v := 0; v < n; v++ {
+			r.Add(v)
+		}
+		d1, d2 := 0, 0
+		for i, d := range dels {
+			if r.Forget(func(v int) bool { return v == d }) {
+				d1++
+			} else {
+				d2++
+			}
+			// Interleave: one insert after every delete (random pairing).
+			ins := inserts[i]
+			if d1+d2 > 0 {
+				if rng.Intn(d1+d2) < d1 {
+					r.Readmit(ins)
+					d1--
+				} else {
+					d2--
+				}
+			} else {
+				r.Add(ins)
+			}
+		}
+		for i, m := range final {
+			for _, v := range r.Sample() {
+				if v == m {
+					counts[i]++
+				}
+			}
+		}
+	}
+	p, err := stats.ChiSquareUniformP(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("random-pairing sample not uniform: p = %g, counts %v", p, counts)
+	}
+}
+
+func TestForgetReplaceReadmitSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := NewReservoir[int](4, rng)
+	for v := 1; v <= 4; v++ {
+		r.Add(v)
+	}
+	if r.Forget(func(v int) bool { return v == 99 }) {
+		t.Fatal("Forget matched a value not in the sample")
+	}
+	if !r.Forget(func(v int) bool { return v == 2 }) {
+		t.Fatal("Forget missed a sampled value")
+	}
+	if len(r.Sample()) != 3 {
+		t.Fatalf("sample size %d after Forget, want 3", len(r.Sample()))
+	}
+	if !r.Replace(func(v int) bool { return v == 3 }, 33) {
+		t.Fatal("Replace missed a sampled value")
+	}
+	found := false
+	for _, v := range r.Sample() {
+		if v == 33 {
+			found = true
+		}
+		if v == 3 || v == 2 {
+			t.Fatalf("stale value %d still sampled", v)
+		}
+	}
+	if !found {
+		t.Fatal("Replace did not install the new value")
+	}
+	r.Readmit(5)
+	if len(r.Sample()) != 4 {
+		t.Fatalf("sample size %d after Readmit, want 4", len(r.Sample()))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Readmit into a full reservoir did not panic")
+		}
+	}()
+	r.Readmit(6)
+}

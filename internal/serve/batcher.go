@@ -99,10 +99,14 @@ type entry struct {
 
 // executor runs one batch as engine passes over the resident data.
 type executor struct {
-	schema     *dataset.Schema
-	splits     []dataset.Split
-	bounds     []splitBounds
-	prune      bool
+	schema *dataset.Schema
+	splits []dataset.Split
+	bounds []splitBounds
+	prune  bool
+	// liveSplits, when set (live mode), supplies the current resident splits
+	// under a read lock held for the pass; pruning is skipped because the
+	// startup bounds go stale under mutation.
+	liveSplits func() ([]dataset.Split, func())
 	slaves     int
 	newCluster func(slaves int) *mapreduce.Cluster
 	onMetrics  func(mapreduce.Metrics)
@@ -276,7 +280,11 @@ func (x *executor) runPass(g *seedGroup, cur *batch, idx int) {
 	}
 
 	splits, pruned := x.splits, 0
-	if x.prune {
+	if x.liveSplits != nil {
+		var release func()
+		splits, release = x.liveSplits()
+		defer release()
+	} else if x.prune {
 		if boxes, ok := queryBoxes(queries, x.schema); ok {
 			splits, pruned = pruneSplits(x.splits, x.bounds, boxes, x.schema)
 		}

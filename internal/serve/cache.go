@@ -74,12 +74,15 @@ func (c *resultCache) put(k cacheKey, ans *query.Answer) {
 	}
 }
 
-// purge drops every entry (used on epoch bump).
-func (c *resultCache) purge() {
+// purge drops every entry (used on epoch bump) and reports how many were
+// dropped, so invalidation is observable in the daemon's counters.
+func (c *resultCache) purge() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	n := c.order.Len()
 	c.order.Init()
 	c.byKey = make(map[cacheKey]*list.Element)
+	return n
 }
 
 // len reports the number of cached answers.

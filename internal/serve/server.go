@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/live"
 	"repro/internal/mapreduce"
 	"repro/internal/query"
 )
@@ -49,6 +50,18 @@ type Config struct {
 	// NoPrune disables box-decomposition split pre-filtering.
 	NoPrune bool
 
+	// Live makes the population mutable: POST /v1/mutate ingests a mutation
+	// log, POST /v1/subscribe registers standing queries with push triggers,
+	// and a /v1/sample matching a registered query answers warm from its
+	// incrementally maintained reservoirs. Live mode disables split pruning
+	// (the startup bounds go stale under mutation) and keys the ad-hoc result
+	// cache on the mutation sequence, so any mutation invalidates it.
+	Live bool
+	// StalenessBound caps uncompensated deletions per stratum reservoir
+	// before a repair rescan; 0 takes the live subsystem's default (64).
+	// Only meaningful with Live.
+	StalenessBound int
+
 	// NewCluster builds the per-pass cluster; the CLI injects its
 	// observability-wired factory here. Defaults to mapreduce.NewCluster.
 	NewCluster func(slaves int) *mapreduce.Cluster
@@ -70,14 +83,20 @@ type Config struct {
 //
 // Endpoints:
 //
-//	POST /v1/sample  submit a query ({"query": "cond : freq ; ...",
-//	                 "seed": 1}); blocks for the answer unless "wait": false,
-//	                 which returns {"id": ...} for later polling
-//	GET  /v1/result  poll an async answer (?id=...)
-//	GET  /v1/stats   service counters as JSON
-//	POST /v1/epoch   bump the population epoch (invalidates the cache)
-//	GET  /metrics    engine + service metrics, Prometheus text format
-//	GET  /healthz    liveness: population size, epoch, draining flag
+//	POST /v1/sample    submit a query ({"query": "cond : freq ; ...",
+//	                   "seed": 1}); blocks for the answer unless "wait": false,
+//	                   which returns {"id": ...} for later polling
+//	GET  /v1/result    poll an async answer (?id=...)
+//	GET  /v1/stats     service counters as JSON
+//	POST /v1/epoch     bump the population epoch; returns the new epoch and
+//	                   how many cached answers the bump purged
+//	POST /v1/mutate    (live mode) apply a mutation-log batch
+//	POST /v1/subscribe (live mode) register a standing query with a push
+//	                   trigger; DELETE with ?id= unsubscribes
+//	GET  /v1/stream    (live mode) SSE stream of a subscription's pushes
+//	GET  /v1/next      (live mode) long-poll one push (?id=&after=)
+//	GET  /metrics      engine + service metrics, Prometheus text format
+//	GET  /healthz      liveness: population size, epoch, draining flag
 type Server struct {
 	cfg     Config
 	schema  *dataset.Schema
@@ -87,6 +106,11 @@ type Server struct {
 	quotas  *quotaTable
 	batcher *batcher
 	mux     *http.ServeMux
+
+	// Live-mode state: the mutable population and the subscription hub. Both
+	// are nil unless Config.Live was set.
+	lp  *live.Population
+	hub *subHub
 
 	epoch    atomic.Int64
 	draining atomic.Bool
@@ -154,42 +178,92 @@ func NewServer(cfg Config) (*Server, error) {
 		tracer:     cfg.Tracer,
 		base:       s.started,
 	}
-	s.batcher = newBatcher(cfg.Window, cfg.MaxBatch, s.epoch.Load, exec, s.stats)
+	if cfg.Live {
+		lp, err := live.NewPopulation(s.schema, splits, live.Config{StalenessBound: cfg.StalenessBound})
+		if err != nil {
+			return nil, fmt.Errorf("serve: live population: %w", err)
+		}
+		s.lp = lp
+		s.hub = newSubHub(s)
+		// Passes read the splits under the population's lock; startup bounds
+		// are stale the moment anything mutates, so pruning is off.
+		exec.liveSplits = lp.AcquireSplits
+		exec.prune = false
+	}
+	s.batcher = newBatcher(cfg.Window, cfg.MaxBatch, s.effectiveEpoch, exec, s.stats)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/sample", s.handleSample)
 	mux.HandleFunc("/v1/result", s.handleResult)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/epoch", s.handleEpoch)
+	mux.HandleFunc("/v1/mutate", s.handleMutate)
+	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
+	mux.HandleFunc("/v1/stream", s.handleStream)
+	mux.HandleFunc("/v1/next", s.handleNext)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux = mux
 	return s, nil
 }
 
+// effectiveEpoch is the cache epoch ad-hoc answers are keyed on: the
+// administrative epoch plus, in live mode, the mutation sequence. Both terms
+// are monotonic, so the sum is monotonic — any mutation moves every future
+// answer to a fresh key, invalidating cached ad-hoc results without touching
+// the warm standing-query path (which never uses this cache).
+func (s *Server) effectiveEpoch() int64 {
+	e := s.epoch.Load()
+	if s.lp != nil {
+		e += s.lp.Seq()
+	}
+	return e
+}
+
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Stats exposes the service counters (for tests and the load generator).
-func (s *Server) Stats() Snapshot { return s.stats.snapshot() }
+// Stats exposes the service counters (for tests and the load generator). In
+// live mode the snapshot carries the live subsystem's own counters too.
+func (s *Server) Stats() Snapshot {
+	snap := s.stats.snapshot()
+	if s.lp != nil {
+		ls := s.lp.Stats()
+		snap.Live = &ls
+	}
+	return snap
+}
 
 // Epoch returns the current population epoch.
 func (s *Server) Epoch() int64 { return s.epoch.Load() }
 
 // BumpEpoch advances the population epoch and purges the result cache; every
-// answer computed from now on carries the new epoch. It models a population
-// mutation boundary.
+// answer computed from now on carries the new epoch. It models an
+// administrative invalidation boundary (in live mode, per-mutation
+// invalidation happens automatically through effectiveEpoch).
 func (s *Server) BumpEpoch() int64 {
-	e := s.epoch.Add(1)
-	s.cache.purge()
+	e, _ := s.bumpEpoch()
 	return e
 }
 
-// BeginDrain makes every subsequent submission fail with 503 and fires the
-// collecting batch immediately so blocked requests resolve fast.
+// bumpEpoch advances the epoch and reports how many cached answers the purge
+// dropped, recording both in the stats.
+func (s *Server) bumpEpoch() (int64, int) {
+	e := s.epoch.Add(1)
+	n := s.cache.purge()
+	s.stats.addCachePurge(n)
+	return e, n
+}
+
+// BeginDrain makes every subsequent submission fail with 503, fires the
+// collecting batch immediately so blocked requests resolve fast, and closes
+// every subscription stream.
 func (s *Server) BeginDrain() {
 	s.draining.Store(true)
 	s.batcher.flush()
+	if s.hub != nil {
+		s.hub.close()
+	}
 }
 
 // Drain waits for every in-flight pass to finish. Call after BeginDrain and
@@ -232,14 +306,19 @@ type stratumResult struct {
 }
 
 // sampleResponse is the JSON answer of POST /v1/sample and GET /v1/result.
+// Live/Version/LiveMeta appear only on answers served warm from a standing
+// query's reservoirs.
 type sampleResponse struct {
-	Name      string          `json:"name"`
-	Seed      int64           `json:"seed"`
-	Epoch     int64           `json:"epoch"`
-	Cached    bool            `json:"cached"`
-	Trace     string          `json:"trace,omitempty"`
-	Strata    []stratumResult `json:"strata"`
-	ElapsedUS int64           `json:"elapsed_us"`
+	Name      string             `json:"name"`
+	Seed      int64              `json:"seed"`
+	Epoch     int64              `json:"epoch"`
+	Cached    bool               `json:"cached"`
+	Live      bool               `json:"live,omitempty"`
+	Version   int64              `json:"version,omitempty"`
+	Trace     string             `json:"trace,omitempty"`
+	Strata    []stratumResult    `json:"strata"`
+	LiveMeta  []live.StratumMeta `json:"live_meta,omitempty"`
+	ElapsedUS int64              `json:"elapsed_us"`
 }
 
 // newTraceID mints a random 64-bit trace id in hex. Collisions across a
@@ -293,7 +372,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.addQuery()
 	start := time.Now()
-	epoch := s.epoch.Load()
+	epoch := s.effectiveEpoch()
 
 	// Every request gets a trace id — the client's own (X-Strata-Trace) or a
 	// fresh one — echoed in the response header and body so a caller can
@@ -304,6 +383,17 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Strata-Trace", trace)
 	reqSpan := requestSpanID(trace)
+
+	// A query matching a registered standing query answers warm from its
+	// incrementally maintained reservoirs: no pass, no cache, always current.
+	if s.lp != nil {
+		if ans, metas, ver, ok := s.lp.Snapshot(liveKey(canon, seed)); ok {
+			s.stats.addLiveHit()
+			s.respondLive(w, q, seed, epoch, trace, ans, metas, ver, start)
+			s.emitRequestTrace(trace, reqSpan, start, 0, nil)
+			return
+		}
+	}
 
 	var cacheDur time.Duration
 	if !req.NoCache {
@@ -406,21 +496,46 @@ func (s *Server) buildQuery(req *sampleRequest) (*query.SSD, error) {
 }
 
 func (s *Server) respond(w http.ResponseWriter, q *query.SSD, seed, epoch int64, trace string, ans *query.Answer, cached bool, start time.Time) {
+	s.writeResponse(w, buildSampleResponse(q, seed, epoch, trace, ans, cached, start))
+}
+
+// respondLive answers from a standing query's warm reservoirs, attaching the
+// query version and per-stratum maintenance metadata.
+func (s *Server) respondLive(w http.ResponseWriter, q *query.SSD, seed, epoch int64, trace string, ans *query.Answer, metas []live.StratumMeta, version int64, start time.Time) {
+	resp := buildSampleResponse(q, seed, epoch, trace, ans, false, start)
+	resp.Live = true
+	resp.Version = version
+	resp.LiveMeta = metas
+	s.writeResponse(w, resp)
+}
+
+func buildSampleResponse(q *query.SSD, seed, epoch int64, trace string, ans *query.Answer, cached bool, start time.Time) *sampleResponse {
 	resp := &sampleResponse{
 		Name: q.Name, Seed: seed, Epoch: epoch, Cached: cached, Trace: trace,
-		Strata:    make([]stratumResult, len(q.Strata)),
+		Strata:    renderStrata(q, ans),
 		ElapsedUS: time.Since(start).Microseconds(),
 	}
+	return resp
+}
+
+// renderStrata renders an answer in the response's stratum shape (shared with
+// subscription push events).
+func renderStrata(q *query.SSD, ans *query.Answer) []stratumResult {
+	out := make([]stratumResult, len(q.Strata))
 	for k, st := range q.Strata {
 		individuals := make([]string, len(ans.Strata[k]))
 		for i, t := range ans.Strata[k] {
 			individuals[i] = t.String()
 		}
-		resp.Strata[k] = stratumResult{
+		out[k] = stratumResult{
 			Stratum: k + 1, Cond: st.Cond.String(), Freq: st.Freq,
 			Count: len(individuals), Individuals: individuals,
 		}
 	}
+	return out
+}
+
+func (s *Server) writeResponse(w http.ResponseWriter, resp *sampleResponse) {
 	w.Header().Set("Content-Type", "application/json")
 	t0 := time.Now()
 	json.NewEncoder(w).Encode(resp)
@@ -463,7 +578,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.stats.WriteJSON(w); err != nil {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Stats()); err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 	}
 }
@@ -473,9 +590,9 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	e := s.BumpEpoch()
+	e, purged := s.bumpEpoch()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]int64{"epoch": e})
+	json.NewEncoder(w).Encode(map[string]int64{"epoch": e, "purged": int64(purged)})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -491,18 +608,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if err := s.stats.WritePrometheus(w); err != nil {
 		return
 	}
+	if s.lp != nil {
+		if err := s.lp.WritePrometheus(w); err != nil {
+			return
+		}
+	}
 	WriteBuildInfo(w, s.started)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":     "ok",
 		"population": s.cfg.Population.Len(),
 		"splits":     len(s.splits),
 		"epoch":      s.epoch.Load(),
 		"draining":   s.draining.Load(),
-	})
+	}
+	if s.lp != nil {
+		body["live"] = true
+		body["population"] = s.lp.Len()
+		body["mutation_seq"] = s.lp.Seq()
+		body["staleness_bound"] = s.lp.StalenessBound()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/live"
 	"repro/internal/mapreduce"
 )
 
@@ -29,6 +30,19 @@ type Stats struct {
 	errors      int64 // passes or submissions that failed
 
 	rejected map[string]int64 // per-tenant quota rejections
+
+	// Cache-invalidation observability (satellite of the live subsystem):
+	// epoch bumps and the entries each bump dropped.
+	cachePurges int64
+	cachePurged int64
+
+	// Live-mode counters: queries answered warm from standing reservoirs,
+	// standing-query pushes delivered to subscribers (with trigger-to-publish
+	// latency), and the current subscription count.
+	liveHits    int64
+	pushes      int64
+	subscribers int64
+	pushNanos   mapreduce.Histogram
 
 	// batchOccupancy observes the number of distinct queries per engine
 	// pass; windowNanos observes request time-in-batcher (admission to
@@ -72,6 +86,35 @@ func (s *Stats) addCacheMiss() {
 func (s *Stats) addRejected(tenant string) {
 	s.mu.Lock()
 	s.rejected[tenant]++
+	s.mu.Unlock()
+}
+
+// addCachePurge records one epoch bump and the cache entries it dropped.
+func (s *Stats) addCachePurge(entries int) {
+	s.mu.Lock()
+	s.cachePurges++
+	s.cachePurged += int64(entries)
+	s.mu.Unlock()
+}
+
+func (s *Stats) addLiveHit() {
+	s.mu.Lock()
+	s.liveHits++
+	s.mu.Unlock()
+}
+
+func (s *Stats) addSubscriber(delta int64) {
+	s.mu.Lock()
+	s.subscribers += delta
+	s.mu.Unlock()
+}
+
+// observePush records one standing-query push: the time from the mutation (or
+// timer tick) that triggered it to the event's publication.
+func (s *Stats) observePush(d time.Duration) {
+	s.mu.Lock()
+	s.pushes++
+	s.pushNanos.Observe(max(d.Nanoseconds(), 0))
 	s.mu.Unlock()
 }
 
@@ -143,6 +186,19 @@ type Snapshot struct {
 	// Attribution answers "where did my latency go" per component, keyed
 	// window/queue/pass/wire; present once any request has been attributed.
 	Attribution map[string]AttrQuantiles `json:"latency_attribution,omitempty"`
+
+	// Cache-invalidation observability: epoch bumps and entries dropped.
+	CachePurges int64 `json:"cache_purges,omitempty"`
+	CachePurged int64 `json:"cache_purged_entries,omitempty"`
+
+	// Live-mode counters; Live itself is the live subsystem's own snapshot,
+	// attached by the server when running with a mutable population.
+	LiveHits      int64       `json:"live_hits,omitempty"`
+	Pushes        int64       `json:"pushes,omitempty"`
+	Subscriptions int64       `json:"subscriptions,omitempty"`
+	PushP50Usec   int64       `json:"push_latency_p50_us,omitempty"`
+	PushP99Usec   int64       `json:"push_latency_p99_us,omitempty"`
+	Live          *live.Stats `json:"live,omitempty"`
 }
 
 // AttrQuantiles is one latency-attribution component's summary.
@@ -163,7 +219,13 @@ func (s *Stats) snapshot() Snapshot {
 		Queries: s.queries, CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
 		Passes: s.passes, PassQueries: s.passQueries, Coalesced: s.coalesced,
 		SingleFlight: s.singleFlown, PrunedSplits: s.pruned, Errors: s.errors,
-		Rejected: rej,
+		Rejected:    rej,
+		CachePurges: s.cachePurges, CachePurged: s.cachePurged,
+		LiveHits: s.liveHits, Pushes: s.pushes, Subscriptions: s.subscribers,
+	}
+	if s.pushNanos.Count() > 0 {
+		snap.PushP50Usec = s.pushNanos.Quantile(0.5) / 1000
+		snap.PushP99Usec = s.pushNanos.Quantile(0.99) / 1000
 	}
 	if s.batchOccupancy.Count() > 0 {
 		snap.BatchMean = s.batchOccupancy.Mean()
@@ -206,6 +268,7 @@ func (s *Stats) WritePrometheus(w io.Writer) error {
 	s.mu.Lock()
 	occ := s.batchOccupancy
 	win := s.windowNanos
+	push := s.pushNanos
 	attrs := []struct {
 		name string
 		h    mapreduce.Histogram
@@ -228,6 +291,10 @@ func (s *Stats) WritePrometheus(w io.Writer) error {
 		{"strata_serve_single_flight_total", "Requests deduplicated onto an identical in-batch query.", snap.SingleFlight},
 		{"strata_serve_pruned_splits_total", "Splits skipped by box pre-filtering.", snap.PrunedSplits},
 		{"strata_serve_errors_total", "Failed passes or submissions.", snap.Errors},
+		{"strata_serve_cache_purges_total", "Epoch bumps that purged the result cache.", snap.CachePurges},
+		{"strata_serve_cache_purged_total", "Result-cache entries dropped by epoch bumps.", snap.CachePurged},
+		{"strata_serve_live_hits_total", "Queries answered warm from standing reservoirs.", snap.LiveHits},
+		{"strata_serve_pushes_total", "Standing-query pushes delivered to subscribers.", snap.Pushes},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v); err != nil {
@@ -249,7 +316,13 @@ func (s *Stats) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
+	if _, err := fmt.Fprintf(w, "# HELP strata_serve_subscriptions Active standing-query subscriptions.\n# TYPE strata_serve_subscriptions gauge\nstrata_serve_subscriptions %d\n", snap.Subscriptions); err != nil {
+		return err
+	}
 	if err := writePromHistogram(w, "strata_serve_batch_occupancy", "Distinct queries per engine pass.", occ); err != nil {
+		return err
+	}
+	if err := writePromHistogram(w, "strata_serve_push_nanos", "Standing-query push latency, trigger to publication (ns).", push); err != nil {
 		return err
 	}
 	if err := writePromHistogram(w, "strata_serve_window_latency_nanos", "Request time from admission to answer (ns).", win); err != nil {

@@ -21,4 +21,15 @@
 // test suite demonstrates exactly that, measuring how far the per-stratum
 // counts of a maintained sample drift from an SSD's requested frequencies on
 // the same population that MR-SQE answers exactly.
+//
+// Package live (internal/live) is this package's counterpart on the other
+// side of that argument: where stream maintains one uniform sample of
+// append-only streams with bounded communication, live maintains
+// per-stratum reservoirs for registered SSD queries over a mutable resident
+// population — insert, delete, and stratum migration — giving exactly the
+// per-stratum guarantees the streams model cannot. The division of labor:
+// stream is the right tool when data arrives distributed and append-only
+// and any uniform sample will do; live is the right tool when the
+// population is resident (strata serve) and queries are standing. See
+// DESIGN.md §14.
 package stream

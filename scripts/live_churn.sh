@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# live_churn.sh — end-to-end smoke of the live mutation path (DESIGN.md §14).
+#
+# Starts `strata serve -live`, registers a standing query, drives mixed
+# query/mutation churn with `strata loadgen -mutate`, and asserts:
+#   1. the subscription received pushes (long-poll observes a version > 0);
+#   2. a warm /v1/sample answer rides the reservoirs ("live": true, no pass);
+#   3. staleness never exceeded the configured bound;
+#   4. the churn is visible (mutation seq advanced, population changed or
+#      repairs ran when the bound was hit).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+POP=20000
+SEED=1
+BOUND=16
+QUERY='nop >= 100 : 5 ; nop < 100 : 10'
+
+tmp="$(mktemp -d)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+echo "== build"
+go build -o "$tmp/strata" ./cmd/strata
+
+echo "== start live daemon (staleness bound $BOUND)"
+"$tmp/strata" serve -addr localhost:0 -n "$POP" -seed "$SEED" \
+  -live -staleness "$BOUND" -window 2ms >"$tmp/serve.out" 2>"$tmp/serve.err" &
+SERVE_PID=$!
+
+base=""
+for _ in $(seq 1 100); do
+  base="$(sed -n 's|.*on http://\([^ ]*\) .*|\1|p' "$tmp/serve.out" | head -1)"
+  [ -n "$base" ] && curl -sf "http://$base/healthz" >/dev/null 2>&1 && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$tmp/serve.err"; echo "FAIL: daemon died"; exit 1; }
+  sleep 0.1
+done
+[ -n "$base" ] || { echo "FAIL: daemon never came up"; cat "$tmp/serve.err"; exit 1; }
+echo "daemon at $base"
+
+echo "== subscribe a standing query (push every 5 mutations)"
+curl -sf "http://$base/v1/subscribe" \
+  -d "{\"query\": \"$QUERY\", \"seed\": $SEED, \"every_mutations\": 5}" \
+  | tee "$tmp/sub.json"
+echo
+SUB="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["subscription"])' "$tmp/sub.json")"
+
+echo "== drive mixed churn (20% mutation batches)"
+"$tmp/strata" loadgen -addr "$base" -clients 8 -requests 200 -mutate 0.2 \
+  -mutate-batch 8 -n "$POP" -seed "$SEED" >"$tmp/loadgen.out"
+grep 'mutations:' "$tmp/loadgen.out"
+
+echo "== subscription observed pushes"
+curl -sf "http://$base/v1/next?id=$SUB&after=0&timeout_ms=5000" >"$tmp/push.json"
+python3 - "$tmp/push.json" <<'PY'
+import json, sys
+p = json.load(open(sys.argv[1]))
+assert p["version"] > 0, f"push carries no mutations: {p}"
+assert p["strata"], "push has no strata"
+print(f"ok: push seq {p['seq']}, query version {p['version']}, mutation seq {p['mutation_seq']}")
+PY
+
+echo "== warm standing-query read, staleness under bound"
+curl -sf "http://$base/v1/sample" \
+  -d "{\"query\": \"$QUERY\", \"seed\": $SEED}" >"$tmp/warm.json"
+curl -sf "http://$base/v1/stats" >"$tmp/stats.json"
+python3 - "$tmp/warm.json" "$tmp/stats.json" "$BOUND" <<'PY'
+import json, sys
+warm = json.load(open(sys.argv[1]))
+stats = json.load(open(sys.argv[2]))
+bound = int(sys.argv[3])
+assert warm.get("live"), f"standing query not answered warm: {warm.keys()}"
+live = stats["live"]
+assert live["max_staleness"] <= bound, \
+    f"staleness {live['max_staleness']} exceeded bound {bound}"
+assert live["mutation_seq"] > 0, "no mutations applied"
+assert stats["live_hits"] > 0, "warm reads not counted"
+muts = live["inserts"] + live["deletes"] + live["updates"]
+print(f"ok: live=true, {stats['live_hits']} warm hits, {muts} mutations, "
+      f"{live['repairs']} repairs, max staleness {live['max_staleness']} <= {bound}")
+PY
+
+echo "== graceful drain"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "FAIL: daemon exited non-zero on SIGTERM"; exit 1; }
+
+echo "PASS: live churn smoke"
