@@ -47,7 +47,7 @@ func cmdAudit(args []string) error {
 	if err != nil {
 		return err
 	}
-	splits, err := dataset.Partition(pop, *slaves*2, strategy, rand.New(rand.NewSource(*seed)))
+	splits, err := dataset.Partition(pop, dataset.DefaultSplits(*slaves), strategy, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
 	}

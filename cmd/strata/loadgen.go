@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -78,7 +79,7 @@ func cmdLoadgen(args []string) error {
 		run := func(w time.Duration) (loadgenRun, error) {
 			srv, err := serve.NewServer(serve.Config{
 				Population: pop, Slaves: *slaves, PartitionSeed: *seed,
-				Window: w, MaxBatch: *maxBatch,
+				Window: w, MaxBatch: *maxBatch, AdaptiveWindow: true,
 				Live: *mutate > 0, StalenessBound: *staleness,
 				NewCluster: newCluster, OnMetrics: recordMetrics,
 			})
@@ -149,20 +150,28 @@ type loadgenReport struct {
 
 // loadgenRun is one measured load run.
 type loadgenRun struct {
-	OK        int             `json:"ok"`
-	Failed    int             `json:"failed"`
-	WallMS    int64           `json:"wall_ms"`
-	QPS       float64         `json:"qps"`
-	P50MS     float64         `json:"latency_p50_ms"`
-	P90MS     float64         `json:"latency_p90_ms"`
-	P99MS     float64         `json:"latency_p99_ms"`
-	MaxMS     float64         `json:"latency_max_ms"`
-	Mutations int             `json:"mutations,omitempty"` // mutation requests (each -mutate-batch ops)
-	MutP50MS  float64         `json:"mutate_p50_ms,omitempty"`
-	MutP99MS  float64         `json:"mutate_p99_ms,omitempty"`
-	Stats     serve.Snapshot  `json:"daemon_stats"`
-	statsErr  error           // non-nil when /v1/stats could not be read
-	latencies []time.Duration // not serialized
+	OK       int     `json:"ok"`
+	Failed   int     `json:"failed"`
+	WallMS   int64   `json:"wall_ms"`
+	QPS      float64 `json:"qps"`
+	P50MS    float64 `json:"latency_p50_ms"`
+	P90MS    float64 `json:"latency_p90_ms"`
+	P99MS    float64 `json:"latency_p99_ms"`
+	MaxMS    float64 `json:"latency_max_ms"`
+	MeanMS   float64 `json:"latency_mean_ms"`
+	StddevMS float64 `json:"latency_stddev_ms"`
+	// QPSTimeline is the achieved query rate in each of ten equal slices of
+	// the wall time (completion-time buckets), exposing warmup and tail
+	// effects a single aggregate QPS hides. TimelineBucketMS is the slice
+	// width.
+	TimelineBucketMS int64           `json:"timeline_bucket_ms,omitempty"`
+	QPSTimeline      []float64       `json:"qps_timeline,omitempty"`
+	Mutations        int             `json:"mutations,omitempty"` // mutation requests (each -mutate-batch ops)
+	MutP50MS         float64         `json:"mutate_p50_ms,omitempty"`
+	MutP99MS         float64         `json:"mutate_p99_ms,omitempty"`
+	Stats            serve.Snapshot  `json:"daemon_stats"`
+	statsErr         error           // non-nil when /v1/stats could not be read
+	latencies        []time.Duration // not serialized
 }
 
 // loadSpec parameterizes one driveLoad call.
@@ -192,6 +201,7 @@ func driveLoad(baseURL string, spec loadSpec) (loadgenRun, error) {
 	client := &http.Client{Timeout: 2 * time.Minute}
 	type result struct {
 		d        time.Duration
+		at       time.Duration // completion offset from run start (for the QPS timeline)
 		err      error
 		mutation bool
 	}
@@ -216,7 +226,7 @@ func driveLoad(baseURL string, spec loadSpec) (loadgenRun, error) {
 				t0 := time.Now()
 				if isMutation(i) {
 					err = postMutations(client, baseURL, mutationBatch(i, spec.popN, spec.schema, spec.mutBatch))
-					results[i] = result{d: time.Since(t0), err: err, mutation: true}
+					results[i] = result{d: time.Since(t0), at: time.Since(start), err: err, mutation: true}
 					continue
 				}
 				body, _ := json.Marshal(map[string]any{
@@ -230,7 +240,7 @@ func driveLoad(baseURL string, spec loadSpec) (loadgenRun, error) {
 						err = fmt.Errorf("status %d", resp.StatusCode)
 					}
 				}
-				results[i] = result{d: time.Since(t0), err: err}
+				results[i] = result{d: time.Since(t0), at: time.Since(start), err: err}
 			}
 		}()
 	}
@@ -243,6 +253,7 @@ func driveLoad(baseURL string, spec loadSpec) (loadgenRun, error) {
 
 	run := loadgenRun{WallMS: wall.Milliseconds()}
 	var mutLat []time.Duration
+	var doneAt []time.Duration
 	for _, r := range results {
 		if r.err != nil {
 			run.Failed++
@@ -255,6 +266,7 @@ func driveLoad(baseURL string, spec loadSpec) (loadgenRun, error) {
 		}
 		run.OK++
 		run.latencies = append(run.latencies, r.d)
+		doneAt = append(doneAt, r.at)
 	}
 	if run.Failed > 0 {
 		for _, r := range results {
@@ -279,6 +291,38 @@ func driveLoad(baseURL string, spec loadSpec) (loadgenRun, error) {
 		run.MaxMS = float64(run.latencies[len(run.latencies)-1].Microseconds()) / 1000
 	}
 	run.QPS = float64(run.OK) / wall.Seconds()
+	if n := len(run.latencies); n > 0 {
+		var sum float64
+		for _, d := range run.latencies {
+			sum += float64(d.Microseconds()) / 1000
+		}
+		run.MeanMS = sum / float64(n)
+		var sq float64
+		for _, d := range run.latencies {
+			dev := float64(d.Microseconds())/1000 - run.MeanMS
+			sq += dev * dev
+		}
+		run.StddevMS = math.Sqrt(sq / float64(n))
+	}
+	// QPS timeline: ten equal wall-time slices, completions counted into the
+	// slice they finished in.
+	if wall > 0 && len(doneAt) > 0 {
+		const slices = 10
+		counts := make([]int, slices)
+		for _, at := range doneAt {
+			i := int(int64(at) * slices / int64(wall))
+			if i >= slices {
+				i = slices - 1
+			}
+			counts[i]++
+		}
+		sliceSec := wall.Seconds() / slices
+		run.TimelineBucketMS = wall.Milliseconds() / slices
+		run.QPSTimeline = make([]float64, slices)
+		for i, c := range counts {
+			run.QPSTimeline[i] = float64(c) / sliceSec
+		}
+	}
 
 	if resp, err := client.Get(baseURL + "/v1/stats"); err == nil {
 		err = json.NewDecoder(resp.Body).Decode(&run.Stats)
@@ -293,8 +337,15 @@ func driveLoad(baseURL string, spec loadSpec) (loadgenRun, error) {
 func printRun(label string, r loadgenRun) {
 	fmt.Printf("\n[%s] %d ok / %d failed in %dms — %.0f QPS\n",
 		label, r.OK, r.Failed, r.WallMS, r.QPS)
-	fmt.Printf("  latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
-		r.P50MS, r.P90MS, r.P99MS, r.MaxMS)
+	fmt.Printf("  latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f  mean %.1f ± %.1f\n",
+		r.P50MS, r.P90MS, r.P99MS, r.MaxMS, r.MeanMS, r.StddevMS)
+	if len(r.QPSTimeline) > 0 {
+		fmt.Printf("  qps over time (%dms slices):", r.TimelineBucketMS)
+		for _, q := range r.QPSTimeline {
+			fmt.Printf(" %.0f", q)
+		}
+		fmt.Println()
+	}
 	if r.Mutations > 0 {
 		fmt.Printf("  mutations: %d requests, ms p50 %.2f p99 %.2f\n",
 			r.Mutations, r.MutP50MS, r.MutP99MS)
@@ -303,5 +354,14 @@ func printRun(label string, r loadgenRun) {
 		fmt.Printf("  daemon: %d passes for %d queries (%.1f distinct/pass, max %d), %d coalesced, %d single-flight\n",
 			r.Stats.Passes, r.Stats.Queries, r.Stats.BatchMean, r.Stats.BatchMax,
 			r.Stats.Coalesced, r.Stats.SingleFlight)
+		if len(r.Stats.Attribution) > 0 {
+			fmt.Printf("  attribution p50 ms:")
+			for _, name := range []string{"window", "queue", "pass", "wire"} {
+				if a, ok := r.Stats.Attribution[name]; ok {
+					fmt.Printf(" %s %.1f", name, float64(a.P50Usec)/1000)
+				}
+			}
+			fmt.Println()
+		}
 	}
 }

@@ -58,7 +58,7 @@ func cmdQuery(args []string) error {
 		pop = gen.Population(*n, *seed)
 	}
 
-	splits, err := dataset.Partition(pop, *slaves*2, dataset.Contiguous, nil)
+	splits, err := dataset.Partition(pop, dataset.DefaultSplits(*slaves), dataset.Contiguous, nil)
 	if err != nil {
 		return err
 	}

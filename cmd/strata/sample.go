@@ -24,6 +24,7 @@ func cmdSample(args []string) error {
 	n := fs.Int("n", 10000, "population size")
 	seed := fs.Int64("seed", 1, "random seed")
 	slaves := fs.Int("slaves", 4, "cluster slaves")
+	numSplits := fs.Int("splits", 0, "partition splits (0 = max(2*slaves, 2*GOMAXPROCS); must match a daemon's -splits for identical answers)")
 	naive := fs.Bool("naive", false, "disable the combiner (Figure 1 variant)")
 	layout := fs.String("layout", "contiguous", "data layout across machines: round-robin, contiguous, skewed, shuffled-contiguous")
 	spec := fs.String("query", "nop >= 100 : 5 ; nop < 100 : 10",
@@ -47,7 +48,11 @@ func cmdSample(args []string) error {
 	if err != nil {
 		return err
 	}
-	splits, err := dataset.Partition(pop, *slaves*2, strategy, rand.New(rand.NewSource(*seed)))
+	k := *numSplits
+	if k <= 0 {
+		k = dataset.DefaultSplits(*slaves)
+	}
+	splits, err := dataset.Partition(pop, k, strategy, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,9 @@ func cmdServe(args []string) error {
 	dataPath := fs.String("data", "", "path to a population CSV (author schema); empty = generate")
 	seed := fs.Int64("seed", 1, "population + partition seed (match strata sample's -seed for identical answers)")
 	slaves := fs.Int("slaves", 4, "cluster slaves per pass")
+	numSplits := fs.Int("splits", 0, "resident partition splits (0 = max(2*slaves, 2*GOMAXPROCS); match strata sample's -splits for identical answers)")
+	maxPasses := fs.Int("max-passes", 0, "concurrent engine passes (0 = 2*GOMAXPROCS)")
+	adaptiveWindow := fs.Bool("adaptive-window", true, "fire a lone query early when the recent arrival rate says no batch-mate is coming")
 	layout := fs.String("layout", "contiguous", "data layout across machines: round-robin, contiguous, skewed, shuffled-contiguous")
 	window := fs.Duration("window", 5*time.Millisecond, "batching window (0 = one pass per query)")
 	maxBatch := fs.Int("max-batch", 64, "fire a batch early at this many distinct queries")
@@ -65,6 +68,9 @@ func cmdServe(args []string) error {
 	cfg := serve.Config{
 		Population:     pop,
 		Slaves:         *slaves,
+		Splits:         *numSplits,
+		MaxPasses:      *maxPasses,
+		AdaptiveWindow: *adaptiveWindow,
 		Layout:         strategy,
 		PartitionSeed:  *seed,
 		Window:         *window,
@@ -103,8 +109,14 @@ func cmdServe(args []string) error {
 	}
 	httpSrv := &http.Server{Handler: mux}
 
+	effSplits := *numSplits
+	if effSplits <= 0 {
+		effSplits = dataset.DefaultSplits(*slaves)
+	}
 	slog.Info("strata serve listening",
 		"addr", ln.Addr().String(), "population", pop.Len(), "slaves", *slaves,
+		"splits", effSplits, "max_passes", *maxPasses,
+		"adaptive_window", *adaptiveWindow,
 		"layout", strategy.String(), "window", window.String(), "max_batch", *maxBatch,
 		"cache", *cacheSize, "qps", *qps, "prune", !*noPrune, "live", *liveMode)
 	mode := ""

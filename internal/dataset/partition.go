@@ -3,6 +3,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 )
 
 // A Split is the portion of the population stored on one machine of the
@@ -117,6 +118,24 @@ func cutContiguous(tuples []Tuple, k int) []Split {
 		splits[i] = append(Split(nil), tuples[lo:hi]...)
 	}
 	return splits
+}
+
+// DefaultSplits is the default split count for a pass over a resident
+// population: two map tasks per simulated slave (the historical strata
+// default) but never fewer than two per core, so a pass has enough map tasks
+// to saturate the machine even when -slaves is small. The one-shot CLI and
+// the serve daemon both take their default from here — the split structure
+// feeds per-task seeds and per-split combiners, so the two paths must agree
+// on it for their answers to stay byte-identical.
+func DefaultSplits(slaves int) int {
+	k := 2 * slaves
+	if c := 2 * runtime.GOMAXPROCS(0); c > k {
+		k = c
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // SplitSizes returns the length of each split.

@@ -274,6 +274,55 @@ func (p *Population) removeAt(l tupleLoc) {
 	p.splits[l.split] = split[:last]
 }
 
+// Rebalance re-cuts the resident population into k near-equal contiguous
+// splits and returns how many members changed split. Round-robin inserts and
+// swap-removes let splits drift unbalanced over a long mutation history; a
+// balanced re-cut restores even map-task sizing for engine passes. The relative
+// order of members is preserved (concatenation order of the old splits), the
+// loc map is rebuilt, and the round-robin insert cursor resets. Callers should
+// bump the daemon epoch afterwards: the re-cut changes split boundaries, which
+// changes per-split reservoir draws, so cached answers must not survive it.
+func (p *Population) Rebalance(k int) int {
+	if k < 1 {
+		k = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := len(p.loc)
+	flat := make(dataset.Split, 0, total)
+	for _, s := range p.splits {
+		flat = append(flat, s...)
+	}
+	if k > total && total > 0 {
+		k = total
+	}
+	splits := make([]dataset.Split, k)
+	base, rem := 0, 0
+	if total > 0 {
+		base, rem = total/k, total%k
+	}
+	moved := 0
+	off := 0
+	for si := range splits {
+		size := base
+		if si < rem {
+			size++
+		}
+		splits[si] = flat[off : off+size : off+size]
+		for i := range splits[si] {
+			l := tupleLoc{split: si, idx: i}
+			if p.loc[splits[si][i].ID] != l {
+				moved++
+			}
+			p.loc[splits[si][i].ID] = l
+		}
+		off += size
+	}
+	p.splits = splits
+	p.next = 0
+	return moved
+}
+
 // Register compiles the query and builds its per-stratum reservoirs with one
 // scan of the resident splits (the only O(population) step of a standing
 // query's lifetime outside repairs). A key already registered is returned

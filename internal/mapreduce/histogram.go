@@ -98,10 +98,22 @@ func (h *Histogram) Merge(o Histogram) {
 	}
 }
 
+// bucketLowerBound is the smallest positive value bucket i can hold (the
+// non-positive bucket 0 reports 0; its true lower edge is the observed min).
+func bucketLowerBound(i int) int64 {
+	if i <= 1 {
+		return int64(i) // bucket 0 → 0, bucket 1 → [1,1]
+	}
+	return int64(1) << (i - 1)
+}
+
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts. The
-// answer is the upper bound of the bucket containing the target rank, clamped
-// to the observed min/max, so the estimate is within a factor of 2 of the
-// true order statistic.
+// target rank's bucket is found by cumulative count; within that bucket the
+// answer is linearly interpolated between the bucket's bounds (clamped to the
+// observed min/max) assuming the bucket's observations are evenly spread.
+// Interpolation removes the power-of-two jumps the old upper-bound answer had:
+// as q sweeps 0→1 the estimate moves smoothly through each bucket instead of
+// snapping to 2^i−1, while staying within the same factor-of-2 error envelope.
 func (h Histogram) Quantile(q float64) int64 {
 	if h.count == 0 {
 		return 0
@@ -112,19 +124,36 @@ func (h Histogram) Quantile(q float64) int64 {
 	if q >= 1 {
 		return h.max
 	}
-	rank := int64(q * float64(h.count-1))
+	rank := q * float64(h.count-1)
+	target := int64(rank)
 	var seen int64
 	for i, c := range h.buckets {
 		seen += c
-		if seen > rank {
-			v := bucketUpperBound(i)
-			if v < h.min {
-				v = h.min
+		if seen > target {
+			lo, hi := bucketLowerBound(i), bucketUpperBound(i)
+			if lo < h.min {
+				lo = h.min
 			}
-			if v > h.max {
-				v = h.max
+			if hi > h.max {
+				hi = h.max
 			}
-			return v
+			if hi <= lo {
+				return hi
+			}
+			// The bucket's c observations occupy ranks [seen−c, seen−1];
+			// place the fractional rank proportionally between them. A
+			// single-observation bucket has no spread to interpolate over,
+			// so estimate its midpoint.
+			frac := 0.5
+			if c > 1 {
+				frac = (rank - float64(seen-c)) / float64(c-1)
+				if frac < 0 {
+					frac = 0
+				} else if frac > 1 {
+					frac = 1
+				}
+			}
+			return lo + int64(math.Round(frac*float64(hi-lo)))
 		}
 	}
 	return h.max

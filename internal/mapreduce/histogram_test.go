@@ -31,6 +31,53 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileInterpolation pins the within-bucket linear
+// interpolation: on uniformly spread data the estimate lands on (essentially)
+// the true order statistic instead of snapping to the bucket's 2^i−1 upper
+// bound, and the estimate is monotone in q.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	// Old behavior returned bucket upper bounds: p50=511, p90=1000 (clamped
+	// from 1023). Interpolation pins the uniform data's near-exact answers
+	// (the p50's fractional rank 499.5 lands between 500 and 501 and rounds
+	// half away from zero).
+	if q := h.Quantile(0.5); q != 501 {
+		t.Fatalf("p50 = %d, want 501", q)
+	}
+	if q := h.Quantile(0.9); q != 900 {
+		t.Fatalf("p90 = %d, want 900", q)
+	}
+	if q := h.Quantile(0.99); q != 990 {
+		t.Fatalf("p99 = %d, want 990", q)
+	}
+
+	// Monotone in q, and always inside the observed range.
+	prev := h.Quantile(0)
+	for q := 0.01; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%.2f gave %d after %d", q, v, prev)
+		}
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("Quantile(%.2f) = %d outside [%d,%d]", q, v, h.Min(), h.Max())
+		}
+		prev = v
+	}
+
+	// A single observation is its own every-quantile (the min/max clamp
+	// collapses the bucket to the point).
+	var one Histogram
+	one.Observe(10)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if v := one.Quantile(q); v != 10 {
+			t.Fatalf("single-observation Quantile(%.2f) = %d, want 10", q, v)
+		}
+	}
+}
+
 func TestHistogramJSONRoundTrip(t *testing.T) {
 	var h Histogram
 	for _, v := range []int64{0, 1, 5, 5, 128, 1 << 40, math.MaxInt64, -9} {

@@ -24,6 +24,18 @@ type MapperFunc[I any, K comparable, V any] func(ctx *TaskContext, in I, emit fu
 // Map calls the function.
 func (f MapperFunc[I, K, V]) Map(ctx *TaskContext, in I, emit func(K, V)) { f(ctx, in, emit) }
 
+// BatchMapper is an optional whole-split fast path for the map stage. A job
+// that sets one must make MapSplit produce exactly the emissions the
+// per-record Mapper would: the same (key, value) stream in the same order.
+// The engine then skips the per-record emit closure and lets the batch
+// mapper amortize allocations (value arenas, cached group indexes) across
+// the split, while counters, combine ordering and output stay byte-identical
+// to the per-record path — a correctness contract the engine cannot check,
+// so it is pinned by tests in the packages that provide batch mappers.
+type BatchMapper[I any, K comparable, V any] interface {
+	MapSplit(ctx *TaskContext, split []I, out *Grouper[K, V])
+}
+
 // Combiner performs a partial, per-map-task aggregation of the values of one
 // key before they are shuffled, as in Hadoop: its output value type equals
 // its input value type.
@@ -59,6 +71,11 @@ type Job[I any, K comparable, V any, O any] struct {
 	Name string
 	// Mapper processes each input record of each split.
 	Mapper Mapper[I, K, V]
+	// BatchMapper, when non-nil, replaces Mapper on the map stage with a
+	// whole-split call. It must emit exactly what Mapper would (see the
+	// interface contract); Mapper stays required as the semantic definition
+	// and as the reference the batch path is tested against.
+	BatchMapper BatchMapper[I, K, V]
 	// Combiner, when non-nil, aggregates map output per task before the
 	// shuffle.
 	Combiner Combiner[K, V]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
@@ -38,6 +39,7 @@ import (
 type batcher struct {
 	window   time.Duration
 	maxBatch int
+	adaptive bool
 	epoch    func() int64
 	exec     *executor
 	stats    *Stats
@@ -46,6 +48,15 @@ type batcher struct {
 	mu  sync.Mutex
 	cur *batch
 	wg  sync.WaitGroup // running passes, for graceful drain
+
+	// Adaptive-window arrival tracking (under mu): an EWMA of inter-arrival
+	// time plus the sample count it is built from. When the daemon is idle
+	// (no batch executing) and history says arrivals are sparse relative to
+	// the window, a batch-opening query fires immediately instead of paying
+	// the full window for coalescing that history predicts will not happen.
+	lastArrival time.Time
+	arrivalEWMA time.Duration
+	arrivals    int64
 }
 
 // batch is one collecting (then executing) admission window.
@@ -108,10 +119,17 @@ type executor struct {
 	// startup bounds go stale under mutation.
 	liveSplits func() ([]dataset.Split, func())
 	slaves     int
-	newCluster func(slaves int) *mapreduce.Cluster
+	pool       *clusterPool
 	onMetrics  func(mapreduce.Metrics)
 	cache      *resultCache
 	stats      *Stats
+	// sem bounds concurrently executing passes daemon-wide: seed groups of
+	// one batch run in parallel under it, and overlapping batches pipeline
+	// through it instead of queueing behind each other. inflight counts
+	// batches that have fired but not finished — the adaptive window's
+	// idleness signal.
+	sem      chan struct{}
+	inflight atomic.Int64
 	// tracer, when enabled, receives batch/pass/demux spans and threads a
 	// TraceContext into every pass cluster; base is the daemon start time all
 	// serve span offsets are measured from.
@@ -124,11 +142,11 @@ func (x *executor) traced(cur *batch) bool {
 	return x.tracer != nil && x.tracer.Enabled() && cur.trace != ""
 }
 
-func newBatcher(window time.Duration, maxBatch int, epoch func() int64, exec *executor, stats *Stats) *batcher {
+func newBatcher(window time.Duration, maxBatch int, adaptive bool, epoch func() int64, exec *executor, stats *Stats) *batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
-	return &batcher{window: window, maxBatch: maxBatch, epoch: epoch, exec: exec, stats: stats}
+	return &batcher{window: window, maxBatch: maxBatch, adaptive: adaptive, epoch: epoch, exec: exec, stats: stats}
 }
 
 // submit admits one query into the current batch (opening one if needed) and
@@ -137,10 +155,13 @@ func newBatcher(window time.Duration, maxBatch int, epoch func() int64, exec *ex
 // batch lends the batch its trace identity, so the whole batch — and every
 // engine pass under it — traces under the opener.
 func (b *batcher) submit(q *query.SSD, canon string, seed int64, trace string, traceSpan uint64) *entry {
+	now := time.Now()
 	b.mu.Lock()
+	opened := false
 	if b.cur == nil {
 		b.openLocked()
 		b.cur.trace, b.cur.parent = trace, traceSpan
+		opened = true
 	}
 	cur := b.cur
 	key := entryKey{canon: canon, seed: seed}
@@ -154,11 +175,40 @@ func (b *batcher) submit(q *query.SSD, canon string, seed int64, trace string, t
 		cur.order = append(cur.order, key)
 	}
 	fireNow := len(cur.entries) >= b.maxBatch || b.window <= 0
+	if !fireNow && opened && b.idleFireLocked() {
+		// Adaptive window: the daemon is idle and arrival history says the
+		// next query is much further out than the window — waiting would
+		// coalesce nothing, so answer this one immediately.
+		b.stats.addAdaptiveFire()
+		fireNow = true
+	}
 	if fireNow {
 		b.fireLocked(cur)
 	}
+	// Arrival tracking for the adaptive window: EWMA (α=1/4) of inter-arrival
+	// time across all submissions, cache hits excluded by the caller's flow.
+	if !b.lastArrival.IsZero() {
+		dt := now.Sub(b.lastArrival)
+		if b.arrivals == 0 {
+			b.arrivalEWMA = dt
+		} else {
+			b.arrivalEWMA = (3*b.arrivalEWMA + dt) / 4
+		}
+		b.arrivals++
+	}
+	b.lastArrival = now
 	b.mu.Unlock()
 	return e
+}
+
+// idleFireLocked reports whether a batch-opening query should skip the
+// window: nothing is executing, and the observed inter-arrival EWMA (at
+// least two samples) exceeds 4x the window, so the expected coalescing gain
+// is nil. First-ever queries and bursty load keep the full window.
+func (b *batcher) idleFireLocked() bool {
+	return b.adaptive && b.window > 0 &&
+		b.exec.inflight.Load() == 0 &&
+		b.arrivals >= 2 && b.arrivalEWMA > 4*b.window
 }
 
 // openLocked starts a fresh collecting batch and arms its window timer.
@@ -199,8 +249,12 @@ func (b *batcher) fireLocked(cur *batch) {
 		b.cur = nil
 	}
 	b.wg.Add(1)
+	// inflight counts from fire to completion so the adaptive idle check
+	// sees a batch that has detached but whose passes haven't started yet.
+	b.exec.inflight.Add(1)
 	go func() {
 		defer b.wg.Done()
+		defer b.exec.inflight.Add(-1)
 		b.exec.run(cur)
 		b.stats.observeWindow(time.Since(cur.created).Nanoseconds())
 	}()
@@ -239,7 +293,10 @@ type seedGroup struct {
 }
 
 // run executes a batch: its entries are grouped by seed and each group
-// becomes one engine pass, queries in arrival order.
+// becomes one engine pass, queries in arrival order. Passes run concurrently
+// under the daemon-wide semaphore; each pass owns its seed and its cluster,
+// so concurrency cannot reorder anything within a pass and answers stay
+// byte-identical to serial execution (pinned by TestConcurrentPassesByteIdentical).
 func (x *executor) run(cur *batch) {
 	bySeed := make(map[int64]*seedGroup)
 	var seeds []int64
@@ -253,8 +310,18 @@ func (x *executor) run(cur *batch) {
 		g.entries = append(g.entries, cur.entries[key])
 	}
 	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
-	for i, s := range seeds {
-		x.runPass(bySeed[s], cur, i)
+	if len(seeds) == 1 {
+		x.boundedPass(bySeed[seeds[0]], cur, 0)
+	} else {
+		var wg sync.WaitGroup
+		for i, s := range seeds {
+			wg.Add(1)
+			go func(g *seedGroup, idx int) {
+				defer wg.Done()
+				x.boundedPass(g, cur, idx)
+			}(bySeed[s], i)
+		}
+		wg.Wait()
 	}
 	if x.traced(cur) {
 		x.tracer.Emit(mapreduce.Span{
@@ -266,6 +333,13 @@ func (x *executor) run(cur *batch) {
 			Records: int64(len(cur.order)),
 		})
 	}
+}
+
+// boundedPass runs one pass under the daemon-wide pass semaphore.
+func (x *executor) boundedPass(g *seedGroup, cur *batch, idx int) {
+	x.sem <- struct{}{}
+	defer func() { <-x.sem }()
+	x.runPass(g, cur, idx)
 }
 
 // runPass answers one seed group with a single MapReduce pass. idx is the
@@ -290,7 +364,8 @@ func (x *executor) runPass(g *seedGroup, cur *batch, idx int) {
 		}
 	}
 
-	c := x.newCluster(x.slaves)
+	c := x.pool.get()
+	defer x.pool.put(c)
 	traced := x.traced(cur)
 	passRun := fmt.Sprintf("%s.p%d", cur.runName(), idx)
 	var passSpan uint64

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,8 +25,12 @@ type Config struct {
 	// Slaves is the simulated cluster width per pass (as in the CLI's
 	// -slaves). Defaults to 4.
 	Slaves int
-	// Splits is the number of partition splits; 0 means Slaves*2, matching
-	// "strata sample".
+	// Splits is the number of partition splits; 0 means
+	// dataset.DefaultSplits(Slaves) — max(2*Slaves, 2*GOMAXPROCS), the same
+	// default "strata sample" uses, so lone-query answers stay byte-identical
+	// between the daemon and the one-shot CLI. A resident population is
+	// re-cut to this count at load regardless of how the input was laid out,
+	// so every pass has enough map tasks to saturate the machine.
 	Splits int
 	// Layout partitions the population across splits. The zero value is
 	// dataset.RoundRobin; "strata serve" passes its -layout flag (default
@@ -41,6 +46,17 @@ type Config struct {
 	// MaxBatch fires a batch early once it holds this many distinct
 	// queries. Defaults to 64.
 	MaxBatch int
+	// MaxPasses bounds concurrently executing engine passes daemon-wide:
+	// seed groups of one batch run in parallel under it and overlapping
+	// batches pipeline through it. 0 means 2*GOMAXPROCS. Concurrency never
+	// changes answers — each pass owns its seed, cluster and output slots.
+	MaxPasses int
+	// AdaptiveWindow lets a query that opens a batch while the daemon is
+	// idle fire immediately when arrival history (inter-arrival EWMA > 4x
+	// window, at least two samples) says waiting out the window would
+	// coalesce nothing. Bursty load still gets full windows; lone queries
+	// stop paying the window latency tax.
+	AdaptiveWindow bool
 	// CacheSize bounds the result cache (answers). Defaults to 1024.
 	CacheSize int
 	// QuotaQPS and QuotaBurst configure the per-tenant token bucket
@@ -133,10 +149,13 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Slaves = 4
 	}
 	if cfg.Splits <= 0 {
-		cfg.Splits = cfg.Slaves * 2
+		cfg.Splits = dataset.DefaultSplits(cfg.Slaves)
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
+	}
+	if cfg.MaxPasses <= 0 {
+		cfg.MaxPasses = 2 * runtime.GOMAXPROCS(0)
 	}
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 1024
@@ -166,17 +185,18 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.epoch.Store(1)
 	exec := &executor{
-		schema:     s.schema,
-		splits:     splits,
-		bounds:     boundsOf(splits, s.schema),
-		prune:      !cfg.NoPrune,
-		slaves:     cfg.Slaves,
-		newCluster: cfg.NewCluster,
-		onMetrics:  s.recordMetrics,
-		cache:      s.cache,
-		stats:      s.stats,
-		tracer:     cfg.Tracer,
-		base:       s.started,
+		schema:    s.schema,
+		splits:    splits,
+		bounds:    boundsOf(splits, s.schema),
+		prune:     !cfg.NoPrune,
+		slaves:    cfg.Slaves,
+		pool:      newClusterPool(cfg.Slaves, cfg.NewCluster),
+		onMetrics: s.recordMetrics,
+		cache:     s.cache,
+		stats:     s.stats,
+		tracer:    cfg.Tracer,
+		base:      s.started,
+		sem:       make(chan struct{}, cfg.MaxPasses),
 	}
 	if cfg.Live {
 		lp, err := live.NewPopulation(s.schema, splits, live.Config{StalenessBound: cfg.StalenessBound})
@@ -190,7 +210,7 @@ func NewServer(cfg Config) (*Server, error) {
 		exec.liveSplits = lp.AcquireSplits
 		exec.prune = false
 	}
-	s.batcher = newBatcher(cfg.Window, cfg.MaxBatch, s.effectiveEpoch, exec, s.stats)
+	s.batcher = newBatcher(cfg.Window, cfg.MaxBatch, cfg.AdaptiveWindow, s.effectiveEpoch, exec, s.stats)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/sample", s.handleSample)
@@ -590,9 +610,18 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// In live mode an epoch bump doubles as split compaction: round-robin
+	// inserts and swap-removes drift the resident splits unbalanced, so re-cut
+	// them into even shards before bumping. Rebalance first, bump second — the
+	// bump purges the answer cache, which must cover the post-rebalance
+	// boundaries (a re-cut changes per-split reservoir draws).
+	var rebalanced int64
+	if s.lp != nil {
+		rebalanced = int64(s.lp.Rebalance(s.cfg.Splits))
+	}
 	e, purged := s.bumpEpoch()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]int64{"epoch": e, "purged": int64(purged)})
+	json.NewEncoder(w).Encode(map[string]int64{"epoch": e, "purged": int64(purged), "rebalanced": rebalanced})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

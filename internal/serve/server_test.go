@@ -83,7 +83,7 @@ func directSQE(t *testing.T, pop *dataset.Relation, spec string, slaves int, see
 	if err != nil {
 		t.Fatal(err)
 	}
-	splits, err := dataset.Partition(pop, slaves*2, dataset.Contiguous, rand.New(rand.NewSource(seed)))
+	splits, err := dataset.Partition(pop, dataset.DefaultSplits(slaves), dataset.Contiguous, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,7 @@ type Stats struct {
 	singleFlown int64 // requests that attached to an already-batched identical query
 	pruned      int64 // splits skipped by box pre-filtering, across passes
 	errors      int64 // passes or submissions that failed
+	adaptive    int64 // batches fired immediately by the adaptive idle window
 
 	rejected map[string]int64 // per-tenant quota rejections
 
@@ -130,6 +131,14 @@ func (s *Stats) addSingleFlight() {
 	s.mu.Unlock()
 }
 
+// addAdaptiveFire records a batch the idle heuristic fired without waiting
+// out its window.
+func (s *Stats) addAdaptiveFire() {
+	s.mu.Lock()
+	s.adaptive++
+	s.mu.Unlock()
+}
+
 // addPass records one executed engine pass: how many distinct queries it
 // answered, how many requests rode it, and how many splits were pruned.
 func (s *Stats) addPass(distinct, requests, pruned int) {
@@ -178,6 +187,7 @@ type Snapshot struct {
 	SingleFlight  int64            `json:"single_flight"`
 	PrunedSplits  int64            `json:"pruned_splits"`
 	Errors        int64            `json:"errors"`
+	AdaptiveFires int64            `json:"adaptive_fires,omitempty"`
 	Rejected      map[string]int64 `json:"rejected_by_tenant,omitempty"`
 	BatchMean     float64          `json:"batch_occupancy_mean"`
 	BatchMax      int64            `json:"batch_occupancy_max"`
@@ -219,8 +229,9 @@ func (s *Stats) snapshot() Snapshot {
 		Queries: s.queries, CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
 		Passes: s.passes, PassQueries: s.passQueries, Coalesced: s.coalesced,
 		SingleFlight: s.singleFlown, PrunedSplits: s.pruned, Errors: s.errors,
-		Rejected:    rej,
-		CachePurges: s.cachePurges, CachePurged: s.cachePurged,
+		AdaptiveFires: s.adaptive,
+		Rejected:      rej,
+		CachePurges:   s.cachePurges, CachePurged: s.cachePurged,
 		LiveHits: s.liveHits, Pushes: s.pushes, Subscriptions: s.subscribers,
 	}
 	if s.pushNanos.Count() > 0 {
@@ -291,6 +302,7 @@ func (s *Stats) WritePrometheus(w io.Writer) error {
 		{"strata_serve_single_flight_total", "Requests deduplicated onto an identical in-batch query.", snap.SingleFlight},
 		{"strata_serve_pruned_splits_total", "Splits skipped by box pre-filtering.", snap.PrunedSplits},
 		{"strata_serve_errors_total", "Failed passes or submissions.", snap.Errors},
+		{"strata_serve_adaptive_fires_total", "Batches fired immediately by the adaptive idle window.", snap.AdaptiveFires},
 		{"strata_serve_cache_purges_total", "Epoch bumps that purged the result cache.", snap.CachePurges},
 		{"strata_serve_cache_purged_total", "Result-cache entries dropped by epoch bumps.", snap.CachePurged},
 		{"strata_serve_live_hits_total", "Queries answered warm from standing reservoirs.", snap.LiveHits},

@@ -1,0 +1,111 @@
+package stratified
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/query"
+)
+
+// The batch mappers promise the exact emission stream of the per-record
+// mappers (fastmap.go). These tests pin that contract end to end: run the
+// same job with and without the BatchMapper and require byte-identical
+// output and identical counters, across naive/combined and exclude
+// variants.
+
+func fastmapQueries() []*query.SSD {
+	return []*query.SSD{genderSSD(7, 5), incomeSSD(6, 9)}
+}
+
+func counterTuple(m mapreduce.Metrics) [6]int64 {
+	return [6]int64{
+		m.MapInputRecords, m.MapOutputRecords,
+		m.CombineInputRecs, m.CombineOutputRecs,
+		m.ReduceInputGroups, m.ReduceInputRecs,
+	}
+}
+
+func TestBatchMapperByteIdenticalSQE(t *testing.T) {
+	r := genderPop(400, 350)
+	splits, _ := dataset.Partition(r, 4, dataset.Contiguous, nil)
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"combined", Options{Seed: 3}},
+		{"naive", Options{Seed: 3, Naive: true}},
+		{"exclude", Options{Seed: 3, Exclude: map[int64]struct{}{5: {}, 17: {}, 300: {}}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			q := genderSSD(8, 6)
+			fast, err := buildSQEJob(q, r.Schema(), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := buildSQEJob(q, r.Schema(), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow.BatchMapper = nil // reference: the per-record path
+			fast.Seed, slow.Seed = tc.opts.Seed, tc.opts.Seed
+			resFast, err := mapreduce.Run(zeroCluster(4), fast, tupleSplits(splits))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resSlow, err := mapreduce.Run(zeroCluster(4), slow, tupleSplits(splits))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resFast.Output, resSlow.Output) {
+				t.Fatalf("batch mapper output differs from per-record mapper")
+			}
+			if counterTuple(resFast.Metrics) != counterTuple(resSlow.Metrics) {
+				t.Fatalf("counters differ: fast %v slow %v",
+					counterTuple(resFast.Metrics), counterTuple(resSlow.Metrics))
+			}
+		})
+	}
+}
+
+func TestBatchMapperByteIdenticalMQE(t *testing.T) {
+	r := genderPop(500, 450)
+	splits, _ := dataset.Partition(r, 5, dataset.RoundRobin, nil)
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"combined", Options{Seed: 11}},
+		{"naive", Options{Seed: 11, Naive: true}},
+		{"exclude", Options{Seed: 11, Exclude: map[int64]struct{}{2: {}, 900: {}}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fast, err := buildMQEJob(fastmapQueries(), r.Schema(), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := buildMQEJob(fastmapQueries(), r.Schema(), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow.BatchMapper = nil
+			fast.Seed, slow.Seed = tc.opts.Seed, tc.opts.Seed
+			resFast, err := mapreduce.Run(zeroCluster(3), fast, tupleSplits(splits))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resSlow, err := mapreduce.Run(zeroCluster(3), slow, tupleSplits(splits))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resFast.Output, resSlow.Output) {
+				t.Fatalf("batch mapper output differs from per-record mapper")
+			}
+			if counterTuple(resFast.Metrics) != counterTuple(resSlow.Metrics) {
+				t.Fatalf("counters differ: fast %v slow %v",
+					counterTuple(resFast.Metrics), counterTuple(resSlow.Metrics))
+			}
+		})
+	}
+}

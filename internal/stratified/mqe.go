@@ -69,6 +69,10 @@ func buildMQEJob(queries []*query.SSD, schema *dataset.Schema, opts Options) (*m
 			}),
 		KeyString: func(k QSKey) string { return fmt.Sprintf("q%04d/s%06d", k.Query, k.Stratum) },
 	}
+	// Whole-split fast path (fastmap.go): same emission stream, amortized
+	// allocations. Present on every backend because workers rebuild the job
+	// through this same function.
+	job.BatchMapper = &mqeBatchMapper{compiled: compiled, exclude: opts.Exclude}
 	if !opts.Naive {
 		job.Combiner = combiner(func(k QSKey) int { return freqs[k] })
 	}

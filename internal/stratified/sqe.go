@@ -74,6 +74,10 @@ func buildSQEJob(q *query.SSD, schema *dataset.Schema, opts Options) (*mapreduce
 			}),
 		KeyString: func(k int) string { return fmt.Sprintf("s%06d", k) },
 	}
+	// Whole-split fast path (fastmap.go): same emission stream, amortized
+	// allocations. Present on every backend because workers rebuild the job
+	// through this same function.
+	job.BatchMapper = &sqeBatchMapper{preds: preds, exclude: opts.Exclude}
 	if !opts.Naive {
 		job.Combiner = combiner(func(k int) int { return freqs[k] })
 	}

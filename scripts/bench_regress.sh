@@ -24,6 +24,7 @@ run() { # pkg bench-regex
 {
   run ./internal/mapreduce/ 'BenchmarkEngine$|BenchmarkShuffleTransport$|BenchmarkShuffleVolume'
   run ./internal/worker/ 'BenchmarkEngine/backend=inproc$|BenchmarkEngine/backend=tcp'
+  run ./internal/serve/ 'BenchmarkServePass$'
 } >"$out"
 
 if [[ "${1:-}" == "--update" ]]; then
